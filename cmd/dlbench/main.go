@@ -1,0 +1,223 @@
+// Command dlbench runs the DLBench reproduction suite: every figure and
+// table of "Benchmarking Deep Learning Frameworks: Design Considerations,
+// Metrics and Beyond" (ICDCS 2018), regenerated over this repository's
+// pure-Go substrate.
+//
+// Usage:
+//
+//	dlbench [-scale test|small|full] [-seed N] [-quiet] <experiment>...
+//
+// Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
+// fig5 fig6 fig7 fig8 fig9 table6 table7 table8 table9, or "all".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dlbench", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "experiment scale: test, small or full")
+	seed := fs.Uint64("seed", 42, "master seed; every result is deterministic in it")
+	quiet := fs.Bool("quiet", false, "suppress per-run progress output")
+	jsonPath := fs.String("json", "", "also write all run results as JSON to this file")
+	csvPath := fs.String("csv", "", "also write all run results as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		return fmt.Errorf("no experiments given; try: dlbench fig1, or dlbench all\nknown: %s", strings.Join(knownExperiments(), " "))
+	}
+	scale, err := core.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	suite, err := core.NewSuite(scale, *seed)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		suite.Progress = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = knownExperiments()
+	}
+	var collected []metrics.RunResult
+	for _, t := range targets {
+		text, rows, err := runExperiment(suite, t)
+		if err != nil {
+			return fmt.Errorf("%s: %w", t, err)
+		}
+		collected = append(collected, rows...)
+		fmt.Println(text)
+	}
+	if *jsonPath != "" {
+		if err := writeResults(*jsonPath, collected, metrics.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if *csvPath != "" {
+		if err := writeResults(*csvPath, collected, metrics.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeResults writes collected run rows with the given encoder.
+func writeResults(path string, rows []metrics.RunResult, write func(io.Writer, []metrics.RunResult) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if err := write(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func knownExperiments() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"table6", "table7",
+		"fig8", "fig9", "table8", "table9",
+		"noise", "shapes",
+	}
+}
+
+func runExperiment(s *core.Suite, name string) (string, []metrics.RunResult, error) {
+	switch name {
+	case "table1":
+		return tableI(), nil, nil
+	case "table2":
+		out, err := defaultsTable(framework.MNIST)
+		return out, nil, err
+	case "table3":
+		out, err := defaultsTable(framework.CIFAR10)
+		return out, nil, err
+	case "table4":
+		out, err := networksTable(framework.MNIST)
+		return out, nil, err
+	case "table5":
+		out, err := networksTable(framework.CIFAR10)
+		return out, nil, err
+	case "fig1":
+		r, err := s.Baseline(framework.MNIST)
+		return r.Text, r.Rows, err
+	case "fig2":
+		r, err := s.Baseline(framework.CIFAR10)
+		return r.Text, r.Rows, err
+	case "fig3":
+		r, err := s.DatasetDependent(framework.MNIST)
+		return r.Text, r.Rows, err
+	case "fig4":
+		r, err := s.DatasetDependent(framework.CIFAR10)
+		return r.Text, r.Rows, err
+	case "fig5":
+		r, err := s.CaffeConvergence()
+		return r.Text, nil, err
+	case "fig6":
+		r, err := s.FrameworkDependent(framework.MNIST)
+		return r.Text, r.Rows, err
+	case "fig7":
+		r, err := s.FrameworkDependent(framework.CIFAR10)
+		return r.Text, r.Rows, err
+	case "table6":
+		out, err := s.SummaryTable(framework.MNIST)
+		return out, nil, err
+	case "table7":
+		out, err := s.SummaryTable(framework.CIFAR10)
+		return out, nil, err
+	case "fig8":
+		r, err := s.UntargetedRobustness()
+		return r.Text, nil, err
+	case "fig9", "table8", "table9":
+		r, err := s.TargetedRobustness(1)
+		return r.Text, nil, err
+	case "noise":
+		r, err := s.NoiseSensitivity(nil)
+		return r.Text, nil, err
+	case "shapes":
+		r, err := s.CheckShapes()
+		return r.Text, nil, err
+	default:
+		return "", nil, fmt.Errorf("unknown experiment %q (known: %s)", name, strings.Join(knownExperiments(), " "))
+	}
+}
+
+// tableI renders the paper's Table I from the framework metadata.
+func tableI() string {
+	tbl := metrics.NewTable("Frameworks", "Version", "Hash Tag", "Library", "Interface", "LoC", "License", "Website")
+	for _, fw := range framework.All {
+		m := fw.Meta()
+		tbl.AddRow(m.Name, m.Version, m.HashTag, m.Library, m.Interface, fmt.Sprintf("%d", m.LoC), m.License, m.Website)
+	}
+	return "Table I: Deep Learning Software Frameworks and Basic Properties\n\n" + tbl.String()
+}
+
+// defaultsTable renders Table II (MNIST) or III (CIFAR-10).
+func defaultsTable(ds framework.DatasetID) (string, error) {
+	tbl := metrics.NewTable("Framework", "Algorithm", "Base Learning Rate", "Batch Size", "#Max Iterations", "#Epochs")
+	for _, fw := range framework.All {
+		d, err := framework.Defaults(fw, ds)
+		if err != nil {
+			return "", err
+		}
+		lr := fmt.Sprintf("%g", d.BaseLR)
+		if d.SecondLR != 0 {
+			lr = fmt.Sprintf("%g -> %g", d.BaseLR, d.SecondLR)
+		}
+		tbl.AddRow(fw.String(), strings.ToUpper(d.Algorithm), lr,
+			fmt.Sprintf("%d", d.BatchSize), fmt.Sprintf("%d", d.MaxIters), fmt.Sprintf("%g", d.Epochs))
+	}
+	n := "II"
+	if ds == framework.CIFAR10 {
+		n = "III"
+	}
+	return fmt.Sprintf("Table %s: Default training parameters on %s\n\n%s", n, ds, tbl.String()), nil
+}
+
+// networksTable renders Table IV (MNIST) or V (CIFAR-10) via the built
+// network summaries.
+func networksTable(ds framework.DatasetID) (string, error) {
+	in, err := framework.InputFor(ds)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	n := "IV"
+	if ds == framework.CIFAR10 {
+		n = "V"
+	}
+	fmt.Fprintf(&b, "Table %s: Primary Default Neural Network Parameters on %s\n\n", n, ds)
+	for _, fw := range framework.All {
+		net, err := framework.BuildNetwork(fw, ds, in, framework.NetworkOptions{Device: device.GPU, DropoutRate: -1})
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(net.Summary())
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}

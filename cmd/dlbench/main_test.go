@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/framework"
+)
+
+func testSuite(t *testing.T) *core.Suite {
+	t.Helper()
+	s, err := core.NewSuite(core.Scale{
+		Name: "clitest", Train: 128, Test: 64, CIFARTrain: 96, CIFARTest: 48,
+		EpochFactor: 0.2, MaxEpochs: 1,
+		MNISTDifficulty: 0.5, CIFARDifficulty: 1.25,
+		FGSMPerClass: 1, FGSMEpsilon: 0.25,
+		JSMAPerTarget: 1, JSMATheta: 0.5, JSMAMaxIters: 5,
+		LossPoints: 5,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunExperimentStaticTables(t *testing.T) {
+	s := testSuite(t)
+	tests := []struct {
+		name string
+		want string
+	}{
+		{"table1", "TensorFlow"},
+		{"table2", "ADAM"},
+		{"table3", "0.001 -> 0.0001"},
+		{"table4", "tf-mnist-net"},
+		{"table5", "torch-cifar-10-net"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, _, err := runExperiment(s, tt.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, tt.want) {
+				t.Fatalf("%s output missing %q:\n%s", tt.name, tt.want, out)
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	s := testSuite(t)
+	if _, _, err := runExperiment(s, "fig42"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestKnownExperimentsComplete(t *testing.T) {
+	known := knownExperiments()
+	// Every table and figure of the paper must be covered.
+	for _, want := range []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"table6", "table7", "table8", "table9",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	} {
+		found := false
+		for _, k := range known {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s missing from the suite", want)
+		}
+	}
+}
+
+func TestRunRejectsNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("run without experiments must error")
+	}
+	if err := run([]string{"-scale", "galactic", "fig1"}); err == nil {
+		t.Fatal("bad scale must error")
+	}
+}
+
+func TestDefaultsTableRendersBothDatasets(t *testing.T) {
+	for _, ds := range framework.Datasets {
+		out, err := defaultsTable(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "Torch") {
+			t.Fatalf("missing Torch row for %v", ds)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command probe trains a single configuration-matrix cell and prints its
+// result row — the quick calibration companion to cmd/dlbench.
+//
+// Usage:
+//
+//	probe -fw caffe -settings tf -settingsds cifar10 -data cifar10 [-scale small] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "probe:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fw := flag.String("fw", "tf", "executing framework: tf, caffe or torch")
+	settings := flag.String("settings", "", "settings owner (defaults to -fw)")
+	settingsDS := flag.String("settingsds", "", "settings dataset (defaults to -data)")
+	dataDS := flag.String("data", "mnist", "dataset to train on")
+	scaleName := flag.String("scale", "small", "scale: test, small or full")
+	seed := flag.Uint64("seed", 42, "master seed")
+	dev := flag.String("device", "gpu", "modeled device: cpu or gpu")
+	flag.Parse()
+
+	if *settings == "" {
+		*settings = *fw
+	}
+	if *settingsDS == "" {
+		*settingsDS = *dataDS
+	}
+	fwID, err := framework.ParseID(*fw)
+	if err != nil {
+		return err
+	}
+	settingsID, err := framework.ParseID(*settings)
+	if err != nil {
+		return err
+	}
+	sdsID, err := framework.ParseDataset(*settingsDS)
+	if err != nil {
+		return err
+	}
+	dataID, err := framework.ParseDataset(*dataDS)
+	if err != nil {
+		return err
+	}
+	kind := device.GPU
+	if *dev == "cpu" {
+		kind = device.CPU
+	}
+	scale, err := core.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	suite, err := core.NewSuite(scale, *seed)
+	if err != nil {
+		return err
+	}
+	suite.Progress = func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	r, err := suite.Run(core.RunSpec{
+		Framework: fwID, SettingsFW: settingsID, SettingsDS: sdsID, Data: dataID, Device: kind,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s settings on %s (%s):\n", r.Framework, r.Settings, r.Dataset, r.Device)
+	fmt.Printf("  accuracy   %.2f%%  (converged=%v, final loss %.4f)\n", r.AccuracyPct, r.Converged, r.FinalLoss)
+	fmt.Printf("  train      %.2f model-s (paper scale), %.1f wall-s (%d epochs)\n", r.Train.ModelSeconds, r.Train.WallSeconds, r.Epochs)
+	fmt.Printf("  test       %.2f model-s for 10,000 samples\n", r.Test.ModelSeconds)
+	return nil
+}

@@ -1,0 +1,9 @@
+// Package repro is a pure-Go reproduction of "Benchmarking Deep Learning
+// Frameworks: Design Considerations, Metrics and Beyond" (ICDCS 2018).
+//
+// The library lives under internal/ (core benchmark suite, tensor/NN/optim
+// substrates, framework simulacra, device cost models, synthetic datasets,
+// adversarial attacks); cmd/dlbench is the experiment CLI and examples/
+// holds runnable walkthroughs. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

@@ -1,0 +1,104 @@
+// Adversarial demonstrates the paper's third metric family: robustness
+// against adversarial examples. It trains the TensorFlow and Caffe MNIST
+// profiles, attacks both with untargeted FGSM (Equation 1) at a sweep of
+// perturbation budgets, and crafts one targeted JSMA example (Equation 2).
+//
+// Run with:
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/adversarial"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adversarial:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite, err := core.NewSuite(core.ScaleTest, 21)
+	if err != nil {
+		return err
+	}
+	suite.Progress = func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	}
+	_, test, err := suite.Datasets(framework.MNIST)
+	if err != nil {
+		return err
+	}
+
+	nets := map[string]*nn.Network{}
+	for _, fw := range []framework.ID{framework.TensorFlow, framework.Caffe} {
+		fmt.Printf("Training %s MNIST profile...\n", fw)
+		net, err := suite.TrainedNetwork(core.RunSpec{
+			Framework: fw, SettingsFW: fw,
+			SettingsDS: framework.MNIST, Data: framework.MNIST, Device: device.GPU,
+		})
+		if err != nil {
+			return err
+		}
+		nets[fw.Short()] = net
+	}
+
+	fmt.Println("\nUntargeted FGSM success rate vs perturbation budget ε:")
+	fmt.Printf("%-8s %-10s %-10s\n", "ε", "TF", "Caffe")
+	for _, eps := range []float64{0.05, 0.12, 0.20, 0.30} {
+		rates := map[string]float64{}
+		for name, net := range nets {
+			res, err := adversarial.RunFGSM(net, test, 10, eps, 2)
+			if err != nil {
+				return err
+			}
+			rates[name] = res.MeanSuccess()
+		}
+		fmt.Printf("%-8.2f %-10.3f %-10.3f\n", eps, rates["TF"], rates["Caffe"])
+	}
+
+	fmt.Println("\nAttack-strength comparison on the TF model (random vs FGSM vs PGD, ε=0.15):")
+	cmp, err := adversarial.CompareAttacks(nets["TF"], test, 10, 0.15, 2, tensor.NewRNG(5))
+	if err != nil {
+		return err
+	}
+	for _, kind := range []adversarial.AttackKind{adversarial.AttackRandom, adversarial.AttackFGSM, adversarial.AttackPGD} {
+		fmt.Printf("  %-8s success %.3f\n", kind, cmp[kind])
+	}
+
+	fmt.Println("\nTargeted JSMA: crafting a digit toward class (source+1) mod 10...")
+	for i := 0; i < test.Len(); i++ {
+		x, y, err := test.Sample(i)
+		if err != nil {
+			return err
+		}
+		preds, err := nets["TF"].Predict(x)
+		if err != nil {
+			return err
+		}
+		if preds[0] != y {
+			continue
+		}
+		target := (y + 1) % 10
+		out, err := adversarial.JSMA(nets["TF"], x, target, adversarial.JSMAConfig{
+			Theta: 0.5, MaxIters: 30, Classes: 10,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("source digit %d -> target %d: success=%v after %d iterations (%d gradient passes)\n",
+			y, target, out.Success, out.Iterations, out.BackwardPasses)
+		break
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Crossconfig demonstrates the paper's central finding: default settings
+// do not transfer. It trains the Caffe profile on synthetic CIFAR-10
+// twice — once with Caffe's own CIFAR-10 defaults (converges) and once
+// with Caffe's MNIST defaults (the paper's Figure 5 divergence: training
+// loss pinned at the ≈87.34 clamp, accuracy near chance).
+//
+// Run with:
+//
+//	go run ./examples/crossconfig
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crossconfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	suite, err := core.NewSuite(core.ScaleTest, 7)
+	if err != nil {
+		return err
+	}
+	suite.Progress = func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	}
+
+	for _, settingsDS := range framework.Datasets {
+		fmt.Printf("Caffe on CIFAR-10 with its %s defaults:\n", settingsDS)
+		r, err := suite.Run(core.RunSpec{
+			Framework:  framework.Caffe,
+			SettingsFW: framework.Caffe,
+			SettingsDS: settingsDS,
+			Data:       framework.CIFAR10,
+			Device:     device.GPU,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  accuracy %.2f%%  final loss %.4f  converged=%v\n",
+			r.AccuracyPct, r.FinalLoss, r.Converged)
+		fmt.Print("  loss curve: ")
+		step := len(r.LossHistory) / 8
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(r.LossHistory); i += step {
+			fmt.Printf("%.2f ", r.LossHistory[i].Loss)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Println("The MNIST-default run inherits Caffe's lr=0.01 with solver momentum 0.9,")
+	fmt.Println("which overshoots on CIFAR-10 — the same mechanism behind the paper's Fig. 5.")
+	return nil
+}

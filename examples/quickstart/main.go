@@ -1,0 +1,80 @@
+// Quickstart: train one framework profile on synthetic MNIST and print
+// the paper's three metric families for it — runtime (modeled + wall),
+// accuracy, and a first robustness probe.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/adversarial"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A suite bundles synthetic datasets, framework profiles and cost
+	// models at a chosen scale. This custom scale trains for under a
+	// minute while still reaching a presentable accuracy; use
+	// core.ScaleSmall (or the dlbench CLI) for full-fidelity runs.
+	scale := core.ScaleTest
+	scale.Name = "quickstart"
+	scale.Train, scale.Test = 512, 256
+	scale.EpochFactor, scale.MaxEpochs = 0.75, 3
+	suite, err := core.NewSuite(scale, 42)
+	if err != nil {
+		return err
+	}
+	suite.Progress = func(format string, a ...any) {
+		fmt.Printf("  "+format+"\n", a...)
+	}
+
+	fmt.Println("Training TensorFlow profile with its own MNIST defaults...")
+	spec := core.RunSpec{
+		Framework:  framework.TensorFlow,
+		SettingsFW: framework.TensorFlow,
+		SettingsDS: framework.MNIST,
+		Data:       framework.MNIST,
+		Device:     device.GPU,
+	}
+	result, err := suite.Run(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Printf("Framework:          %s (%s settings)\n", result.Framework, result.Settings)
+	fmt.Printf("Accuracy:           %.2f%%\n", result.AccuracyPct)
+	fmt.Printf("Training time:      %.2f model-seconds at paper scale (%.1fs wall here)\n",
+		result.Train.ModelSeconds, result.Train.WallSeconds)
+	fmt.Printf("Testing time:       %.2f model-seconds for 10,000 samples\n", result.Test.ModelSeconds)
+	fmt.Printf("Converged:          %v (final loss %.4f)\n", result.Converged, result.FinalLoss)
+
+	// Probe adversarial robustness of the model we just trained.
+	net, err := suite.TrainedNetwork(spec)
+	if err != nil {
+		return err
+	}
+	_, test, err := suite.Datasets(framework.MNIST)
+	if err != nil {
+		return err
+	}
+	fgsm, err := adversarial.RunFGSM(net, test, 10, 0.18, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("FGSM success rate:  %.2f (mean over digits, ε=0.18)\n", fgsm.MeanSuccess())
+	return nil
+}

@@ -1,0 +1,115 @@
+// Timemodel explores the calibrated device cost model: it prints modeled
+// training/testing times for every (framework, device, dataset) baseline
+// next to the paper's published numbers, then sweeps batch size to show
+// where each framework's overhead regime lies.
+//
+// Run with:
+//
+//	go run ./examples/timemodel
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+)
+
+// published baselines from the paper's Tables VI(a)/VII(a):
+// [framework][device][dataset] = {train s, test s}.
+var published = map[framework.ID]map[device.Kind]map[framework.DatasetID][2]float64{
+	framework.TensorFlow: {
+		device.CPU: {framework.MNIST: {1114.34, 2.73}, framework.CIFAR10: {219169.14, 4.80}},
+		device.GPU: {framework.MNIST: {68.51, 0.26}, framework.CIFAR10: {12477.05, 2.34}},
+	},
+	framework.Caffe: {
+		device.CPU: {framework.MNIST: {512.18, 3.33}, framework.CIFAR10: {1730.89, 14.35}},
+		device.GPU: {framework.MNIST: {97.02, 0.55}, framework.CIFAR10: {163.51, 1.36}},
+	},
+	framework.Torch: {
+		device.CPU: {framework.MNIST: {16096.62, 56.62}, framework.CIFAR10: {38268.67, 121.11}},
+		device.GPU: {framework.MNIST: {563.28, 1.76}, framework.CIFAR10: {722.15, 3.66}},
+	},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "timemodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tbl := metrics.NewTable("Framework", "Device", "Dataset", "Train model(s)", "Train paper(s)", "Test model(s)", "Test paper(s)")
+	for _, fw := range framework.All {
+		for _, kind := range []device.Kind{device.CPU, device.GPU} {
+			for _, ds := range framework.Datasets {
+				in, err := framework.InputFor(ds)
+				if err != nil {
+					return err
+				}
+				net, err := framework.BuildNetwork(fw, ds, in, framework.NetworkOptions{Device: kind, DropoutRate: -1})
+				if err != nil {
+					return err
+				}
+				d, err := framework.Defaults(fw, ds)
+				if err != nil {
+					return err
+				}
+				exec, err := framework.NewExecutor(fw, net, d.BatchSize)
+				if err != nil {
+					return err
+				}
+				cm, err := framework.CostModelFor(fw, kind)
+				if err != nil {
+					return err
+				}
+				st := exec.Stats()
+				train := cm.TrainSeconds(net.FLOPsPerSample(), d.MaxIters, d.BatchSize, st.TrainDispatches)
+				test := cm.TestSeconds(net.FLOPsPerSample(), 10000, 100, st.InferDispatches)
+				pub := published[fw][kind][ds]
+				tbl.AddRow(fw.Short(), kind.String(), ds.String(),
+					metrics.FormatSeconds(train), metrics.FormatSeconds(pub[0]),
+					metrics.FormatSeconds(test), metrics.FormatSeconds(pub[1]))
+			}
+		}
+	}
+	fmt.Println("Calibrated cost model vs the paper's published baselines:")
+	fmt.Println()
+	fmt.Println(tbl.String())
+
+	// Batch-size sweep: per-sample cost on GPU shows each framework's
+	// overhead regime (Torch's per-iteration overhead dominates at small
+	// batches — why its batch-1 CIFAR-10 default is so expensive).
+	fmt.Println("Modeled GPU training cost per sample (µs) vs batch size, MNIST nets:")
+	fmt.Println()
+	sweep := metrics.NewTable("Batch", "TF", "Caffe", "Torch")
+	for _, batch := range []int{1, 10, 50, 100, 500} {
+		row := []string{fmt.Sprintf("%d", batch)}
+		for _, fw := range framework.All {
+			in, err := framework.InputFor(framework.MNIST)
+			if err != nil {
+				return err
+			}
+			net, err := framework.BuildNetwork(fw, framework.MNIST, in, framework.NetworkOptions{Device: device.GPU, DropoutRate: -1})
+			if err != nil {
+				return err
+			}
+			exec, err := framework.NewExecutor(fw, net, batch)
+			if err != nil {
+				return err
+			}
+			cm, err := framework.CostModelFor(fw, device.GPU)
+			if err != nil {
+				return err
+			}
+			perIter := cm.TrainSeconds(net.FLOPsPerSample(), 1, batch, exec.Stats().TrainDispatches) - cm.Startup
+			row = append(row, fmt.Sprintf("%.1f", perIter/float64(batch)*1e6))
+		}
+		sweep.AddRow(row...)
+	}
+	fmt.Println(sweep.String())
+	return nil
+}

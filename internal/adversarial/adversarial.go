@@ -1,0 +1,426 @@
+// Package adversarial implements the paper's robustness metric: the
+// untargeted Fast Gradient Sign Method (Equation 1) and the targeted
+// Jacobian-based saliency map attack (Equation 2), together with the
+// crafting harnesses that regenerate Figures 8/9 and Tables VIII/IX.
+package adversarial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrConfig is returned (wrapped) for invalid attack configurations.
+var ErrConfig = errors.New("adversarial: invalid configuration")
+
+// InputGradient computes ∇ₓ L(x, y) for a single sample x ([1,...]) under
+// the network's softmax cross-entropy loss, running the network in
+// inference mode (dropout disabled) as an attacker would.
+func InputGradient(net *nn.Network, x *tensor.Tensor, label int) (*tensor.Tensor, float64, error) {
+	logits, err := net.Forward(x, false)
+	if err != nil {
+		return nil, 0, fmt.Errorf("adversarial: forward: %w", err)
+	}
+	res, err := net.Loss(logits, []int{label})
+	if err != nil {
+		return nil, 0, fmt.Errorf("adversarial: loss: %w", err)
+	}
+	grad, err := net.Backward(res.Grad)
+	if err != nil {
+		return nil, 0, fmt.Errorf("adversarial: backward: %w", err)
+	}
+	// The attack only needs input gradients; drop the parameter gradients
+	// the backward pass accumulated.
+	net.ZeroGrads()
+	return grad, res.Loss, nil
+}
+
+// FGSM generates the untargeted adversarial example of Equation (1):
+// x' = x + ε·sign(∇ₓL(x, y)), clamped to valid pixel range [0,1].
+func FGSM(net *nn.Network, x *tensor.Tensor, label int, epsilon float64) (*tensor.Tensor, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("%w: epsilon %v", ErrConfig, epsilon)
+	}
+	grad, _, err := InputGradient(net, x, label)
+	if err != nil {
+		return nil, err
+	}
+	adv := x.Clone()
+	sign := tensor.New(grad.Shape()...)
+	if err := tensor.Sign(sign, grad); err != nil {
+		return nil, err
+	}
+	if err := tensor.AXPY(epsilon, sign, adv); err != nil {
+		return nil, err
+	}
+	tensor.Clamp(adv, 0, 1)
+	return adv, nil
+}
+
+// classify returns the predicted class of a single sample.
+func classify(net *nn.Network, x *tensor.Tensor) (int, error) {
+	preds, err := net.Predict(x)
+	if err != nil {
+		return 0, err
+	}
+	return preds[0], nil
+}
+
+// UntargetedResult aggregates an FGSM sweep — the paper's Figure 8.
+type UntargetedResult struct {
+	// SuccessRate[d] is the fraction of correctly classified source
+	// samples of class d whose FGSM perturbation changes the prediction.
+	SuccessRate []float64
+	// TargetDist[d][c] is the fraction of successful class-d attacks that
+	// land in class c (Figure 8a/8b's per-digit bars).
+	TargetDist [][]float64
+	// Evaluated[d] counts the attacked samples per class.
+	Evaluated []int
+	// Epsilon is the perturbation magnitude used.
+	Epsilon float64
+}
+
+// SampleSet is the minimal dataset view the attack harnesses need.
+type SampleSet interface {
+	Len() int
+	Sample(i int) (*tensor.Tensor, int, error)
+}
+
+// RunFGSM attacks up to perClass correctly-classified samples of each
+// class and tabulates success rates per source class.
+func RunFGSM(net *nn.Network, ds SampleSet, classes int, epsilon float64, perClass int) (UntargetedResult, error) {
+	if perClass <= 0 || classes <= 0 {
+		return UntargetedResult{}, fmt.Errorf("%w: classes %d perClass %d", ErrConfig, classes, perClass)
+	}
+	res := UntargetedResult{
+		SuccessRate: make([]float64, classes),
+		TargetDist:  make([][]float64, classes),
+		Evaluated:   make([]int, classes),
+		Epsilon:     epsilon,
+	}
+	success := make([]int, classes)
+	landed := make([][]int, classes)
+	for i := range res.TargetDist {
+		res.TargetDist[i] = make([]float64, classes)
+		landed[i] = make([]int, classes)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		x, y, err := ds.Sample(i)
+		if err != nil {
+			return UntargetedResult{}, err
+		}
+		if y < 0 || y >= classes || res.Evaluated[y] >= perClass {
+			continue
+		}
+		pred, err := classify(net, x)
+		if err != nil {
+			return UntargetedResult{}, err
+		}
+		if pred != y {
+			continue // attack only correctly classified inputs
+		}
+		res.Evaluated[y]++
+		adv, err := FGSM(net, x, y, epsilon)
+		if err != nil {
+			return UntargetedResult{}, err
+		}
+		advPred, err := classify(net, adv)
+		if err != nil {
+			return UntargetedResult{}, err
+		}
+		if advPred != y {
+			success[y]++
+			landed[y][advPred]++
+		}
+	}
+	for d := 0; d < classes; d++ {
+		if res.Evaluated[d] > 0 {
+			res.SuccessRate[d] = float64(success[d]) / float64(res.Evaluated[d])
+		}
+		if success[d] > 0 {
+			for c := 0; c < classes; c++ {
+				res.TargetDist[d][c] = float64(landed[d][c]) / float64(success[d])
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeanSuccess returns the mean per-class success rate over classes with at
+// least one evaluated sample.
+func (r UntargetedResult) MeanSuccess() float64 {
+	sum, n := 0.0, 0
+	for d, s := range r.SuccessRate {
+		if r.Evaluated[d] > 0 {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Jacobian computes the Jacobian ∂F_c/∂x_i of the softmax outputs with
+// respect to the input pixels for a single sample, as a [classes, pixels]
+// tensor. It runs one backward pass per class.
+func Jacobian(net *nn.Network, x *tensor.Tensor, classes int) (*tensor.Tensor, error) {
+	logits, err := net.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	if logits.Dims() != 2 || logits.Dim(0) != 1 || logits.Dim(1) != classes {
+		return nil, fmt.Errorf("%w: logits %v for %d classes", ErrConfig, logits.Shape(), classes)
+	}
+	probs, err := nn.Softmax(logits)
+	if err != nil {
+		return nil, err
+	}
+	pixels := x.Len()
+	jac := tensor.New(classes, pixels)
+	for c := 0; c < classes; c++ {
+		// ∂F_c/∂logits_j = F_c(δ_cj − F_j) (softmax derivative); seed the
+		// network backward with that row to get ∂F_c/∂x.
+		seed := tensor.New(1, classes)
+		pc := probs.At(0, c)
+		for j := 0; j < classes; j++ {
+			d := 0.0
+			if j == c {
+				d = 1
+			}
+			seed.Set(pc*(d-probs.At(0, j)), 0, j)
+		}
+		// Layer caches are written by Forward and only read by Backward,
+		// so one forward pass supports all |classes| backward passes.
+		g, err := net.Backward(seed)
+		if err != nil {
+			return nil, err
+		}
+		copy(jac.Data()[c*pixels:(c+1)*pixels], g.Data())
+	}
+	net.ZeroGrads()
+	return jac, nil
+}
+
+// SaliencyMap computes Equation (2): for each input feature i,
+//
+//	S(x,t)[i] = 0                      if ∂F_t/∂x_i < 0 or Σ_{j≠t} ∂F_j/∂x_i > 0
+//	          = ∂F_t/∂x_i · |Σ_{j≠t} ∂F_j/∂x_i|   otherwise.
+func SaliencyMap(jac *tensor.Tensor, target int) ([]float64, error) {
+	classes, pixels := jac.Dim(0), jac.Dim(1)
+	if target < 0 || target >= classes {
+		return nil, fmt.Errorf("%w: target %d of %d classes", ErrConfig, target, classes)
+	}
+	s := make([]float64, pixels)
+	for i := 0; i < pixels; i++ {
+		dt := jac.At(target, i)
+		others := 0.0
+		for j := 0; j < classes; j++ {
+			if j != target {
+				others += jac.At(j, i)
+			}
+		}
+		if dt < 0 || others > 0 {
+			s[i] = 0
+			continue
+		}
+		s[i] = dt * math.Abs(others)
+	}
+	return s, nil
+}
+
+// JSMAConfig configures the targeted Jacobian attack.
+type JSMAConfig struct {
+	// Theta is the per-step perturbation added to the selected pixel.
+	Theta float64
+	// MaxIters bounds the crafting loop; the attack fails if the target
+	// class is not reached within it.
+	MaxIters int
+	// Classes is the class count of the model under attack.
+	Classes int
+}
+
+func (c JSMAConfig) normalized() (JSMAConfig, error) {
+	if c.Theta == 0 {
+		c.Theta = 0.25
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 60
+	}
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.Theta < 0 || c.MaxIters < 1 || c.Classes < 2 {
+		return c, fmt.Errorf("%w: %+v", ErrConfig, c)
+	}
+	return c, nil
+}
+
+// JSMAOutcome reports one targeted crafting attempt.
+type JSMAOutcome struct {
+	Adversarial *tensor.Tensor
+	Success     bool
+	Iterations  int
+	// BackwardPasses counts the gradient computations spent — the cost
+	// basis for the paper's Table VIII crafting-time comparison.
+	BackwardPasses int
+}
+
+// JSMA crafts a targeted adversarial example: it repeatedly perturbs the
+// highest-saliency pixel (Equation 2) until the model predicts target or
+// the iteration budget is exhausted.
+func JSMA(net *nn.Network, x *tensor.Tensor, target int, cfg JSMAConfig) (JSMAOutcome, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return JSMAOutcome{}, err
+	}
+	adv := x.Clone()
+	out := JSMAOutcome{}
+	saturated := make(map[int]bool)
+	for it := 0; it < cfg.MaxIters; it++ {
+		pred, err := classify(net, adv)
+		if err != nil {
+			return JSMAOutcome{}, err
+		}
+		if pred == target {
+			out.Adversarial = adv
+			out.Success = true
+			out.Iterations = it
+			return out, nil
+		}
+		jac, err := Jacobian(net, adv, cfg.Classes)
+		if err != nil {
+			return JSMAOutcome{}, err
+		}
+		out.BackwardPasses += cfg.Classes
+		sal, err := SaliencyMap(jac, target)
+		if err != nil {
+			return JSMAOutcome{}, err
+		}
+		// Choose the best unsaturated pixel; fall back to the largest
+		// target-gradient pixel if the saliency map is empty (common once
+		// the defence-free region is exhausted).
+		best, bestIdx := 0.0, -1
+		for i, v := range sal {
+			if saturated[i] {
+				continue
+			}
+			if v > best {
+				best, bestIdx = v, i
+			}
+		}
+		if bestIdx < 0 {
+			for i := 0; i < adv.Len(); i++ {
+				if saturated[i] {
+					continue
+				}
+				if v := jac.At(target, i); bestIdx < 0 || v > best {
+					best, bestIdx = v, i
+				}
+			}
+		}
+		if bestIdx < 0 {
+			break // every pixel saturated — attack failed
+		}
+		d := adv.Data()
+		d[bestIdx] += cfg.Theta
+		if d[bestIdx] >= 1 {
+			d[bestIdx] = 1
+			saturated[bestIdx] = true
+		}
+		out.Iterations = it + 1
+	}
+	// Final check after the last perturbation.
+	pred, err := classify(net, adv)
+	if err != nil {
+		return JSMAOutcome{}, err
+	}
+	out.Adversarial = adv
+	out.Success = pred == target
+	return out, nil
+}
+
+// TargetedResult aggregates a JSMA crafting campaign from one source class
+// — the paper's Figure 9 and Table IX rows.
+type TargetedResult struct {
+	Source int
+	// SuccessRate[t] is the fraction of crafting attempts from the source
+	// class that reach target t (SuccessRate[Source] is left 0, matching
+	// the paper's presentation).
+	SuccessRate []float64
+	// Attempts[t] counts crafting attempts per target.
+	Attempts []int
+	// MeanBackwardPasses is the average gradient-computation count per
+	// attempt — the mechanical cost the Table VIII timing model charges.
+	MeanBackwardPasses float64
+}
+
+// RunJSMA crafts adversarial examples from up to perTarget source-class
+// samples toward every other class.
+func RunJSMA(net *nn.Network, ds SampleSet, source int, cfg JSMAConfig, perTarget int) (TargetedResult, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return TargetedResult{}, err
+	}
+	if perTarget <= 0 {
+		return TargetedResult{}, fmt.Errorf("%w: perTarget %d", ErrConfig, perTarget)
+	}
+	res := TargetedResult{
+		Source:      source,
+		SuccessRate: make([]float64, cfg.Classes),
+		Attempts:    make([]int, cfg.Classes),
+	}
+	success := make([]int, cfg.Classes)
+	totalBackward, attempts := 0, 0
+	// Collect source-class samples that the model classifies correctly.
+	var pool []*tensor.Tensor
+	for i := 0; i < ds.Len() && len(pool) < perTarget; i++ {
+		x, y, err := ds.Sample(i)
+		if err != nil {
+			return TargetedResult{}, err
+		}
+		if y != source {
+			continue
+		}
+		pred, err := classify(net, x)
+		if err != nil {
+			return TargetedResult{}, err
+		}
+		if pred == source {
+			pool = append(pool, x)
+		}
+	}
+	if len(pool) == 0 {
+		return TargetedResult{}, fmt.Errorf("%w: no correctly classified samples of class %d", ErrConfig, source)
+	}
+	for t := 0; t < cfg.Classes; t++ {
+		if t == source {
+			continue
+		}
+		for _, x := range pool {
+			out, err := JSMA(net, x, t, cfg)
+			if err != nil {
+				return TargetedResult{}, err
+			}
+			res.Attempts[t]++
+			attempts++
+			totalBackward += out.BackwardPasses
+			if out.Success {
+				success[t]++
+			}
+		}
+	}
+	for t := 0; t < cfg.Classes; t++ {
+		if res.Attempts[t] > 0 {
+			res.SuccessRate[t] = float64(success[t]) / float64(res.Attempts[t])
+		}
+	}
+	if attempts > 0 {
+		res.MeanBackwardPasses = float64(totalBackward) / float64(attempts)
+	}
+	return res, nil
+}

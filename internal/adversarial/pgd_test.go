@@ -1,0 +1,161 @@
+package adversarial
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPGDStaysInEpsilonBall(t *testing.T) {
+	net, test := trainedNet(t)
+	x, y, err := test.Sample(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.1
+	rng := tensor.NewRNG(8)
+	adv, err := PGD(net, x, y, PGDConfig{Epsilon: eps, Steps: 5, RandomStart: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data() {
+		if d := math.Abs(adv.Data()[i] - x.Data()[i]); d > eps+1e-12 {
+			t.Fatalf("pixel %d left the ε-ball: %v", i, d)
+		}
+		if adv.Data()[i] < 0 || adv.Data()[i] > 1 {
+			t.Fatalf("pixel %d out of range: %v", i, adv.Data()[i])
+		}
+	}
+}
+
+func TestPGDAtLeastAsStrongAsFGSM(t *testing.T) {
+	net, test := trainedNet(t)
+	const eps = 0.12
+	fgsmWins, pgdWins := 0, 0
+	n := 0
+	for i := 0; i < test.Len() && n < 25; i++ {
+		x, y, err := test.Sample(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := net.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred[0] != y {
+			continue
+		}
+		n++
+		fAdv, err := FGSM(net, x, y, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pAdv, err := PGD(net, x, y, PGDConfig{Epsilon: eps, Steps: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := net.Predict(fAdv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp, err := net.Predict(pAdv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp[0] != y {
+			fgsmWins++
+		}
+		if pp[0] != y {
+			pgdWins++
+		}
+	}
+	if pgdWins < fgsmWins {
+		t.Fatalf("PGD (%d/%d) weaker than FGSM (%d/%d)", pgdWins, n, fgsmWins, n)
+	}
+}
+
+func TestPGDConfigValidation(t *testing.T) {
+	net, test := trainedNet(t)
+	x, y, err := test.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PGD(net, x, y, PGDConfig{Epsilon: 0}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("ε=0 err = %v", err)
+	}
+	if _, err := PGD(net, x, y, PGDConfig{Epsilon: 0.1, Steps: -1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative steps err = %v", err)
+	}
+}
+
+func TestRandomPerturbationProperties(t *testing.T) {
+	_, test := trainedNet(t)
+	x, _, err := test.Sample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(9)
+	adv, err := RandomPerturbation(x, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range x.Data() {
+		if d := math.Abs(adv.Data()[i] - x.Data()[i]); d > 0.2+1e-12 {
+			t.Fatalf("pixel %d moved %v > ε", i, d)
+		} else if d > 0 {
+			changed++
+		}
+	}
+	if changed < x.Len()/2 {
+		t.Fatalf("only %d/%d pixels perturbed", changed, x.Len())
+	}
+	if _, err := RandomPerturbation(x, 0, rng); !errors.Is(err, ErrConfig) {
+		t.Fatal("ε=0 accepted")
+	}
+	if _, err := RandomPerturbation(x, 0.1, nil); !errors.Is(err, ErrConfig) {
+		t.Fatal("nil RNG accepted")
+	}
+}
+
+func TestCompareAttacksOrdering(t *testing.T) {
+	net, test := trainedNet(t)
+	rng := tensor.NewRNG(10)
+	rates, err := CompareAttacks(net, test, 10, 0.15, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, r := range rates {
+		if r < 0 || r > 1 {
+			t.Fatalf("%v rate %v", kind, r)
+		}
+	}
+	// Gradient attacks must dominate the random baseline.
+	if rates[AttackFGSM] < rates[AttackRandom] {
+		t.Fatalf("FGSM %v below random baseline %v", rates[AttackFGSM], rates[AttackRandom])
+	}
+	if rates[AttackPGD] < rates[AttackFGSM] {
+		t.Fatalf("PGD %v below FGSM %v", rates[AttackPGD], rates[AttackFGSM])
+	}
+}
+
+func TestCompareAttacksValidation(t *testing.T) {
+	net, test := trainedNet(t)
+	if _, err := CompareAttacks(net, test, 10, 0.1, 1, nil); !errors.Is(err, ErrConfig) {
+		t.Fatal("nil RNG accepted")
+	}
+	if _, err := CompareAttacks(net, test, 10, -1, 1, tensor.NewRNG(1)); !errors.Is(err, ErrConfig) {
+		t.Fatal("negative ε accepted")
+	}
+}
+
+func TestAttackKindString(t *testing.T) {
+	if AttackRandom.String() != "random" || AttackFGSM.String() != "fgsm" || AttackPGD.String() != "pgd" {
+		t.Fatal("attack names")
+	}
+	if AttackKind(9).String() != "AttackKind(9)" {
+		t.Fatal("unknown attack name")
+	}
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+)
+
+// Claim is one qualitative finding of the paper expressed as an
+// executable check against suite results. Claims test *shapes* (orderings,
+// convergence/divergence, direction of differences), never absolute
+// numbers.
+type Claim struct {
+	// ID ties the claim to the paper artifact, e.g. "fig2-accuracy-order".
+	ID string
+	// Paper is the finding as the paper states it.
+	Paper string
+	// Check evaluates the claim; detail carries the observed numbers.
+	Check func(s *Suite) (pass bool, detail string, err error)
+}
+
+// ClaimResult is the outcome of one claim evaluation.
+type ClaimResult struct {
+	ID     string
+	Paper  string
+	Pass   bool
+	Detail string
+}
+
+// ShapeReport carries the full claim evaluation.
+type ShapeReport struct {
+	Results []ClaimResult
+	Passed  int
+	Text    string
+}
+
+// runFor fetches one GPU run.
+func runFor(s *Suite, fw, settingsFW framework.ID, settingsDS, data framework.DatasetID) (metrics.RunResult, error) {
+	return s.Run(RunSpec{Framework: fw, SettingsFW: settingsFW, SettingsDS: settingsDS, Data: data, Device: device.GPU})
+}
+
+// baselineRun fetches a framework's own-default GPU run.
+func baselineRun(s *Suite, fw framework.ID, ds framework.DatasetID) (metrics.RunResult, error) {
+	return runFor(s, fw, fw, ds, ds)
+}
+
+// Claims returns the paper's findings as executable checks.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:    "fig1-mnist-band",
+			Paper: "On MNIST every framework's own default reaches ≥99% accuracy (Fig. 1c)",
+			Check: func(s *Suite) (bool, string, error) {
+				var details []string
+				pass := true
+				for _, fw := range framework.All {
+					r, err := baselineRun(s, fw, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					details = append(details, fmt.Sprintf("%s %.2f%%", fw.Short(), r.AccuracyPct))
+					if r.AccuracyPct < 98.5 { // band with synthetic-data slack
+						pass = false
+					}
+				}
+				return pass, strings.Join(details, ", "), nil
+			},
+		},
+		{
+			ID:    "fig1-gpu-speedup",
+			Paper: "GPU shortens training for every framework; Torch gains the most (Fig. 1a)",
+			Check: func(s *Suite) (bool, string, error) {
+				speedups := map[framework.ID]float64{}
+				for _, fw := range framework.All {
+					cpu, err := s.Run(RunSpec{Framework: fw, SettingsFW: fw, SettingsDS: framework.MNIST, Data: framework.MNIST, Device: device.CPU})
+					if err != nil {
+						return false, "", err
+					}
+					gpu, err := baselineRun(s, fw, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					if gpu.Train.ModelSeconds >= cpu.Train.ModelSeconds {
+						return false, fmt.Sprintf("%s GPU no faster", fw.Short()), nil
+					}
+					speedups[fw] = cpu.Train.ModelSeconds / gpu.Train.ModelSeconds
+				}
+				pass := speedups[framework.Torch] > speedups[framework.TensorFlow] &&
+					speedups[framework.Torch] > speedups[framework.Caffe]
+				return pass, fmt.Sprintf("speedups TF %.1fx Caffe %.1fx Torch %.1fx",
+					speedups[framework.TensorFlow], speedups[framework.Caffe], speedups[framework.Torch]), nil
+			},
+		},
+		{
+			ID:    "fig2-accuracy-order",
+			Paper: "On CIFAR-10, accuracy orders TF > Caffe > Torch (Fig. 2c)",
+			Check: func(s *Suite) (bool, string, error) {
+				var acc [3]float64
+				for i, fw := range framework.All {
+					r, err := baselineRun(s, fw, framework.CIFAR10)
+					if err != nil {
+						return false, "", err
+					}
+					acc[i] = r.AccuracyPct
+				}
+				return acc[0] > acc[1] && acc[1] > acc[2],
+					fmt.Sprintf("TF %.2f, Caffe %.2f, Torch %.2f", acc[0], acc[1], acc[2]), nil
+			},
+		},
+		{
+			ID:    "fig2-time-order",
+			Paper: "On CIFAR-10 (GPU), Caffe trains fastest and TF is by far slowest (Fig. 2a)",
+			Check: func(s *Suite) (bool, string, error) {
+				var t [3]float64
+				for i, fw := range framework.All {
+					r, err := baselineRun(s, fw, framework.CIFAR10)
+					if err != nil {
+						return false, "", err
+					}
+					t[i] = r.Train.ModelSeconds
+				}
+				return t[1] < t[2] && t[2] < t[0] && t[0] > 5*t[2],
+					fmt.Sprintf("TF %.0fs, Caffe %.0fs, Torch %.0fs", t[0], t[1], t[2]), nil
+			},
+		},
+		{
+			ID:    "fig3-transfer-accuracy",
+			Paper: "CIFAR-10 defaults on MNIST: TF and Torch keep near-best accuracy (Fig. 3c)",
+			Check: func(s *Suite) (bool, string, error) {
+				pass := true
+				var details []string
+				for _, fw := range []framework.ID{framework.TensorFlow, framework.Torch} {
+					own, err := baselineRun(s, fw, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					cross, err := runFor(s, fw, fw, framework.CIFAR10, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					details = append(details, fmt.Sprintf("%s own %.2f cross %.2f", fw.Short(), own.AccuracyPct, cross.AccuracyPct))
+					if cross.AccuracyPct < own.AccuracyPct-1.5 {
+						pass = false
+					}
+				}
+				return pass, strings.Join(details, "; "), nil
+			},
+		},
+		{
+			ID:    "fig3-transfer-cost",
+			Paper: "CIFAR-10 defaults on MNIST cost more training time for every framework (Fig. 3a)",
+			Check: func(s *Suite) (bool, string, error) {
+				for _, fw := range framework.All {
+					own, err := baselineRun(s, fw, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					cross, err := runFor(s, fw, fw, framework.CIFAR10, framework.MNIST)
+					if err != nil {
+						return false, "", err
+					}
+					if cross.Train.ModelSeconds <= own.Train.ModelSeconds {
+						return false, fmt.Sprintf("%s cross %.0fs not above own %.0fs", fw.Short(), cross.Train.ModelSeconds, own.Train.ModelSeconds), nil
+					}
+				}
+				return true, "all frameworks cost more under CIFAR-10 defaults", nil
+			},
+		},
+		{
+			ID:    "fig4-caffe-divergence",
+			Paper: "Caffe's MNIST default fails to converge on CIFAR-10 (≈11% accuracy; Fig. 4c)",
+			Check: func(s *Suite) (bool, string, error) {
+				r, err := runFor(s, framework.Caffe, framework.Caffe, framework.MNIST, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				return !r.Converged && r.AccuracyPct < 25,
+					fmt.Sprintf("accuracy %.2f%%, converged=%v", r.AccuracyPct, r.Converged), nil
+			},
+		},
+		{
+			ID:    "fig4-tf-degradation",
+			Paper: "TF's MNIST default loses substantial accuracy on CIFAR-10 (87→70; Fig. 4c)",
+			Check: func(s *Suite) (bool, string, error) {
+				own, err := baselineRun(s, framework.TensorFlow, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				cross, err := runFor(s, framework.TensorFlow, framework.TensorFlow, framework.MNIST, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				return cross.AccuracyPct < own.AccuracyPct-5,
+					fmt.Sprintf("own %.2f%%, MNIST-default %.2f%%", own.AccuracyPct, cross.AccuracyPct), nil
+			},
+		},
+		{
+			ID:    "fig5-loss-clamp",
+			Paper: "Caffe+MNIST settings on CIFAR-10: loss pinned at the ≈87.34 clamp; CIFAR settings converge (Fig. 5)",
+			Check: func(s *Suite) (bool, string, error) {
+				res, err := s.CaffeConvergence()
+				if err != nil {
+					return false, "", err
+				}
+				mnist := res.Curves["Caffe MNIST settings"]
+				cifar := res.Curves["Caffe CIFAR-10 settings"]
+				if len(mnist) == 0 || len(cifar) == 0 {
+					return false, "missing curves", nil
+				}
+				mnistEnd := mnist[len(mnist)-1].Loss
+				cifarEnd := cifar[len(cifar)-1].Loss
+				// The MNIST-settings run must be flat (no improvement over
+				// its second half) and worse than the converging run.
+				mid := mnist[len(mnist)/2].Loss
+				flat := mnistEnd > 0.95*mid
+				pass := !res.Converged["Caffe MNIST settings"] &&
+					res.Converged["Caffe CIFAR-10 settings"] &&
+					flat && mnistEnd > cifarEnd
+				return pass, fmt.Sprintf("final losses: MNIST-settings %.2f (flat=%v), CIFAR-settings %.4f", mnistEnd, flat, cifarEnd), nil
+			},
+		},
+		{
+			ID:    "fig6-caffe-setting-cheapest",
+			Paper: "Caffe's MNIST setting gives every framework its lowest training time (Fig. 6a)",
+			Check: func(s *Suite) (bool, string, error) {
+				for _, fw := range framework.All {
+					var best framework.ID
+					bestT := 0.0
+					for _, settings := range framework.All {
+						r, err := runFor(s, fw, settings, framework.MNIST, framework.MNIST)
+						if err != nil {
+							return false, "", err
+						}
+						if best == 0 || r.Train.ModelSeconds < bestT {
+							best, bestT = settings, r.Train.ModelSeconds
+						}
+					}
+					if best != framework.Caffe {
+						return false, fmt.Sprintf("%s cheapest under %s settings", fw.Short(), best.Short()), nil
+					}
+				}
+				return true, "Caffe MNIST settings cheapest for TF, Caffe and Torch", nil
+			},
+		},
+		{
+			ID:    "fig7-caffe-under-tf-divergence",
+			Paper: "Caffe under TF's CIFAR-10 setting fails to converge (10.1%; Fig. 7c)",
+			Check: func(s *Suite) (bool, string, error) {
+				r, err := runFor(s, framework.Caffe, framework.TensorFlow, framework.CIFAR10, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				return !r.Converged && r.AccuracyPct < 25,
+					fmt.Sprintf("accuracy %.2f%%, converged=%v", r.AccuracyPct, r.Converged), nil
+			},
+		},
+		{
+			ID:    "fig7-torch-under-tf-gain",
+			Paper: "Torch under TF's CIFAR-10 setting gains accuracy over its own, at much higher cost (Fig. 7)",
+			Check: func(s *Suite) (bool, string, error) {
+				own, err := baselineRun(s, framework.Torch, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				underTF, err := runFor(s, framework.Torch, framework.TensorFlow, framework.CIFAR10, framework.CIFAR10)
+				if err != nil {
+					return false, "", err
+				}
+				pass := underTF.AccuracyPct > own.AccuracyPct &&
+					underTF.Train.ModelSeconds > 3*own.Train.ModelSeconds
+				return pass, fmt.Sprintf("own %.2f%%/%.0fs, under TF %.2f%%/%.0fs",
+					own.AccuracyPct, own.Train.ModelSeconds, underTF.AccuracyPct, underTF.Train.ModelSeconds), nil
+			},
+		},
+		{
+			ID:    "fig8-tf-more-robust",
+			Paper: "FGSM succeeds more often against the Caffe model than the TF model (Fig. 8c)",
+			Check: func(s *Suite) (bool, string, error) {
+				res, err := s.UntargetedRobustness()
+				if err != nil {
+					return false, "", err
+				}
+				return res.Caffe.MeanSuccess() >= res.TF.MeanSuccess(),
+					fmt.Sprintf("mean success TF %.3f, Caffe %.3f", res.TF.MeanSuccess(), res.Caffe.MeanSuccess()), nil
+			},
+		},
+		{
+			ID:    "table9-feature-maps",
+			Paper: "More feature maps and dropout increase JSMA robustness: Caffe(Caffe) most vulnerable (Table IX)",
+			Check: func(s *Suite) (bool, string, error) {
+				res, err := s.TargetedRobustness(1)
+				if err != nil {
+					return false, "", err
+				}
+				mean := func(row JSMARow) float64 {
+					sum, n := 0.0, 0
+					for t, v := range row.Success {
+						if t == res.Source {
+							continue
+						}
+						sum += v
+						n++
+					}
+					return sum / float64(n)
+				}
+				tfTF, caffeCaffe := mean(res.Rows[0]), mean(res.Rows[3])
+				return caffeCaffe >= tfTF,
+					fmt.Sprintf("mean success TF(TF) %.3f, Caffe(Caffe) %.3f", tfTF, caffeCaffe), nil
+			},
+		},
+		{
+			ID:    "table8-crafting-cost",
+			Paper: "Crafting is faster against TF than Caffe, and faster with smaller feature maps (Table VIII)",
+			Check: func(s *Suite) (bool, string, error) {
+				res, err := s.TargetedRobustness(1)
+				if err != nil {
+					return false, "", err
+				}
+				tfTF, tfCaffe := res.Rows[0].CraftModelMinutes, res.Rows[1].CraftModelMinutes
+				caffeTF, caffeCaffe := res.Rows[2].CraftModelMinutes, res.Rows[3].CraftModelMinutes
+				pass := tfCaffe < tfTF && caffeCaffe < caffeTF && tfTF < caffeTF
+				return pass, fmt.Sprintf("TF(TF) %.0f, TF(Caffe) %.0f, Caffe(TF) %.0f, Caffe(Caffe) %.0f model-min",
+					tfTF, tfCaffe, caffeTF, caffeCaffe), nil
+			},
+		},
+	}
+}
+
+// CheckShapes evaluates every claim and renders a PASS/FAIL report.
+func (s *Suite) CheckShapes() (ShapeReport, error) {
+	var rep ShapeReport
+	tbl := metrics.NewTable("Claim", "Verdict", "Observed")
+	for _, c := range Claims() {
+		pass, detail, err := c.Check(s)
+		if err != nil {
+			// A claim that cannot be evaluated (e.g. a model too weak at a
+			// tiny scale for the attack harness to find attackable
+			// samples) is reported as a failure, not a crash.
+			pass, detail = false, "unevaluable: "+err.Error()
+		}
+		rep.Results = append(rep.Results, ClaimResult{ID: c.ID, Paper: c.Paper, Pass: pass, Detail: detail})
+		verdict := "FAIL"
+		if pass {
+			verdict = "PASS"
+			rep.Passed++
+		}
+		tbl.AddRow(c.ID, verdict, detail)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shape check: %d/%d of the paper's qualitative findings reproduced\n\n", rep.Passed, len(rep.Results))
+	b.WriteString(tbl.String())
+	b.WriteString("\nClaims:\n")
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "  %-28s %s\n", r.ID+":", r.Paper)
+	}
+	rep.Text = b.String()
+	return rep, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClaimsAreWellFormed(t *testing.T) {
+	claims := Claims()
+	if len(claims) < 12 {
+		t.Fatalf("only %d claims; the paper has more findings than that", len(claims))
+	}
+	seen := map[string]bool{}
+	for _, c := range claims {
+		if c.ID == "" || c.Paper == "" || c.Check == nil {
+			t.Fatalf("malformed claim %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	// Every major artifact family is covered.
+	for _, prefix := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table8", "table9"} {
+		found := false
+		for id := range seen {
+			if strings.HasPrefix(id, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no claim covers %s", prefix)
+		}
+	}
+}
+
+// TestCheckShapesRuns executes the full claim set at unit scale. At this
+// tiny scale individual claims may legitimately fail (under-trained
+// models); the test asserts the machinery — every claim evaluates without
+// error and the report is rendered.
+func TestCheckShapesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains many configurations")
+	}
+	s := experimentSuite(t)
+	rep, err := s.CheckShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(Claims()) {
+		t.Fatalf("evaluated %d of %d claims", len(rep.Results), len(Claims()))
+	}
+	if !strings.Contains(rep.Text, "Shape check") {
+		t.Fatal("report text missing header")
+	}
+	for _, r := range rep.Results {
+		if r.Detail == "" {
+			t.Errorf("claim %s has no observed detail", r.ID)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package data
+
+import (
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// asciiRamp maps intensity in [0,1] to a character, darkest first.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderASCII renders a single-channel image tensor (any shape whose
+// volume is h·w) as ASCII art, one row per line. It is a debugging aid
+// for the synthetic datasets and the adversarial examples.
+func RenderASCII(img *tensor.Tensor, h, w int) string {
+	d := img.Data()
+	if len(d) < h*w {
+		return ""
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := d[y*w+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			idx := int(v * float64(len(asciiRamp)-1))
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

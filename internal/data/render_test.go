@@ -1,0 +1,57 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestRenderASCIIShape(t *testing.T) {
+	img := tensor.New(1, 1, 4, 3)
+	img.Set(1.0, 0, 0, 0, 0)
+	img.Set(0.5, 0, 0, 1, 1)
+	out := RenderASCII(img, 4, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 3 {
+			t.Fatalf("row %q has width %d", l, len(l))
+		}
+	}
+	if lines[0][0] != '@' {
+		t.Fatalf("full intensity must render '@', got %q", lines[0][0])
+	}
+	if lines[3][2] != ' ' {
+		t.Fatalf("zero intensity must render ' ', got %q", lines[3][2])
+	}
+}
+
+func TestRenderASCIIClampsAndRejectsShort(t *testing.T) {
+	img := tensor.MustFrom([]float64{-5, 7}, 2)
+	out := RenderASCII(img, 1, 2)
+	if out != " @\n" {
+		t.Fatalf("clamped render = %q", out)
+	}
+	if RenderASCII(img, 4, 4) != "" {
+		t.Fatal("short buffer must render empty")
+	}
+}
+
+func TestRenderASCIIDigitLooksInky(t *testing.T) {
+	train, _, err := SynthMNIST(SynthConfig{Train: 10, Test: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := train.Sample(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderASCII(img, MNISTSize, MNISTSize)
+	ink := strings.Count(out, "@") + strings.Count(out, "%") + strings.Count(out, "#")
+	if ink < 20 {
+		t.Fatalf("digit render has almost no ink (%d):\n%s", ink, out)
+	}
+}

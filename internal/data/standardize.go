@@ -1,0 +1,51 @@
+package data
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// StandardizeBatch applies per-image standardization in place to a
+// batch-major [N, ...] tensor: each sample becomes (x − mean)/adjStd with
+// adjStd = max(σ, 1/√pixels) — exactly TensorFlow's
+// per_image_standardization, whose floor keeps near-constant images from
+// exploding.
+func StandardizeBatch(x *tensor.Tensor) {
+	if x.Dims() < 1 {
+		return
+	}
+	n := x.Dim(0)
+	if n == 0 {
+		return
+	}
+	sl := x.Len() / n
+	if sl == 0 {
+		return
+	}
+	floor := 1 / math.Sqrt(float64(sl))
+	d := x.Data()
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			img := d[i*sl : (i+1)*sl]
+			mean := 0.0
+			for _, v := range img {
+				mean += v
+			}
+			mean /= float64(sl)
+			variance := 0.0
+			for _, v := range img {
+				dv := v - mean
+				variance += dv * dv
+			}
+			std := math.Sqrt(variance / float64(sl))
+			if std < floor {
+				std = floor
+			}
+			inv := 1 / std
+			for j := range img {
+				img[j] = (img[j] - mean) * inv
+			}
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestStandardizeBatchMoments(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	x := tensor.New(3, 2, 8, 8)
+	rng.FillUniform(x, 0.2, 0.9)
+	StandardizeBatch(x)
+	sl := 2 * 8 * 8
+	for i := 0; i < 3; i++ {
+		img := x.Data()[i*sl : (i+1)*sl]
+		mean, sq := 0.0, 0.0
+		for _, v := range img {
+			mean += v
+		}
+		mean /= float64(sl)
+		for _, v := range img {
+			sq += (v - mean) * (v - mean)
+		}
+		std := math.Sqrt(sq / float64(sl))
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("sample %d mean %v, want 0", i, mean)
+		}
+		if math.Abs(std-1) > 1e-9 {
+			t.Fatalf("sample %d std %v, want 1", i, std)
+		}
+	}
+}
+
+func TestStandardizeBatchConstantImageFloor(t *testing.T) {
+	// A constant image must map to all zeros without dividing by ~0.
+	x := tensor.New(1, 1, 4, 4)
+	x.Fill(0.7)
+	StandardizeBatch(x)
+	for _, v := range x.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("standardization produced non-finite values")
+		}
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("constant image standardizes to ≈0, got %v", v)
+		}
+	}
+}
+
+func TestStandardizeBatchDegenerateShapes(t *testing.T) {
+	// Zero-sample and scalar-less tensors must be no-ops, not panics.
+	StandardizeBatch(tensor.New(0, 3, 2, 2))
+	StandardizeBatch(tensor.New())
+}

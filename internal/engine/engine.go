@@ -1,0 +1,85 @@
+// Package engine provides three executor implementations that schedule the
+// same nn.Network the way the paper's three frameworks schedule their
+// models:
+//
+//   - Graph (TensorFlow-style): the network is compiled into a dataflow
+//     graph of operation nodes; a topological schedule is computed once,
+//     an optimization pass fuses producer/consumer pairs, and execution
+//     walks the schedule. Construction is comparatively expensive
+//     (TensorFlow's session/graph build), dispatch is cheap.
+//
+//   - Layerwise (Caffe-style): forward/backward blobs are sized once and
+//     the layers run strictly sequentially with minimal bookkeeping; the
+//     solver semantics include Caffe's loss clamp.
+//
+//   - Module (Torch-style): the network is wrapped in a tree of modules
+//     (nested Sequential containers) and execution recursively dispatches
+//     through the tree, allocating per-call temporaries — the highest
+//     dispatch overhead of the three.
+//
+// All three produce bit-identical numerics for identical weights — the
+// executors differ in scheduling, bookkeeping and the dispatch statistics
+// the device cost model consumes, exactly the axis on which the paper's
+// frameworks differ for time while sharing the mathematics.
+package engine
+
+import (
+	"errors"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrNilNetwork is returned when an executor is constructed without a
+// network.
+var ErrNilNetwork = errors.New("engine: nil network")
+
+// Stats describes the mechanical cost profile of an executor on its
+// network; the device cost model turns these counts into seconds.
+type Stats struct {
+	// TrainDispatches is the number of op dispatches per training
+	// iteration (forward + backward + update hooks).
+	TrainDispatches int
+	// InferDispatches is the number of op dispatches per inference batch.
+	InferDispatches int
+	// StartupUnits scales the device's one-time startup charge; graph
+	// construction makes it large for the graph executor.
+	StartupUnits float64
+	// GraphNodes and FusedPairs are populated by the graph executor.
+	GraphNodes int
+	FusedPairs int
+	// BlobBytes is the layerwise executor's pre-allocated activation
+	// memory for its configured batch size.
+	BlobBytes int64
+	// TreeDepth is the module executor's container nesting depth.
+	TreeDepth int
+}
+
+// Executor schedules a network for training and inference.
+type Executor interface {
+	// Name identifies the executor style ("graph", "layerwise", "module").
+	Name() string
+	// Network returns the underlying network.
+	Network() *nn.Network
+	// TrainBatch runs one forward/loss/backward iteration, leaving
+	// parameter gradients accumulated for an optimizer step.
+	TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error)
+	// Logits runs an inference forward pass.
+	Logits(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Predict returns argmax class predictions for a batch.
+	Predict(x *tensor.Tensor) ([]int, error)
+	// Stats returns the executor's mechanical cost profile.
+	Stats() Stats
+}
+
+// predict is the shared argmax implementation.
+func predict(logits *tensor.Tensor) ([]int, error) {
+	if logits.Dims() != 2 {
+		return nil, nn.ErrShape
+	}
+	out := make([]int, logits.Dim(0))
+	for i := range out {
+		out[i] = tensor.ArgMaxRow(logits, i)
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestExecutorEquivalenceProperty builds random small conv/dense networks
+// and checks that the three executor styles produce identical losses and
+// first-layer gradients — scheduling must never change mathematics.
+func TestExecutorEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		build := func() *nn.Network {
+			rng := tensor.NewRNG(seed)
+			h := 6 + rng.Intn(4)
+			ch := 1 + rng.Intn(2)
+			outC := 2 + rng.Intn(3)
+			k := 3
+			net := nn.NewNetwork("prop", []int{ch, h, h})
+			conv, err := nn.NewConv2D(nn.Conv2DConfig{Name: "c", InC: ch, InH: h, InW: h, OutC: outC, Kernel: k, Stride: 1})
+			if err != nil {
+				return nil
+			}
+			actKind := nn.ReLU
+			if seed%2 == 0 {
+				actKind = nn.Tanh
+			}
+			act, err := nn.NewActivation("a", actKind)
+			if err != nil {
+				return nil
+			}
+			outH := h - k + 1
+			fc, err := nn.NewDense("fc", outC*outH*outH, 3)
+			if err != nil {
+				return nil
+			}
+			if err := net.Add(conv, act, nn.NewFlatten("f"), fc); err != nil {
+				return nil
+			}
+			if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, tensor.NewRNG(seed^7)); err != nil {
+				return nil
+			}
+			return net
+		}
+		n1, n2, n3 := build(), build(), build()
+		if n1 == nil || n2 == nil || n3 == nil {
+			return false
+		}
+		g, err := NewGraph(n1)
+		if err != nil {
+			return false
+		}
+		lw, err := NewLayerwise(n2, 4)
+		if err != nil {
+			return false
+		}
+		mod, err := NewModule(n3)
+		if err != nil {
+			return false
+		}
+		rng := tensor.NewRNG(seed ^ 99)
+		shape := n1.InShape()
+		x := tensor.New(append([]int{3}, shape...)...)
+		rng.FillNormal(x, 0, 1)
+		labels := []int{0, 1, 2}
+
+		var losses []float64
+		var grads [][]float64
+		for _, e := range []Executor{g, lw, mod} {
+			res, err := e.TrainBatch(x.Clone(), labels)
+			if err != nil {
+				return false
+			}
+			losses = append(losses, res.Loss)
+			grads = append(grads, append([]float64(nil), e.Network().Params()[0].Grad.Data()...))
+		}
+		for i := 1; i < 3; i++ {
+			if math.Abs(losses[i]-losses[0]) > 1e-12 {
+				return false
+			}
+			for j := range grads[i] {
+				if math.Abs(grads[i][j]-grads[0][j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// module is one vertex of the Torch-style module tree: either a leaf
+// wrapping an nn.Layer or a Sequential container of children.
+type module struct {
+	name     string
+	layer    nn.Layer // nil for containers
+	children []*module
+}
+
+// forward recursively dispatches through the tree, counting leaf and
+// container dispatches like Torch's nn.Sequential updateOutput chain.
+func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int) (*tensor.Tensor, error) {
+	*dispatches++
+	if m.layer != nil {
+		out, err := m.layer.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("module %q: %w", m.name, err)
+		}
+		return out, nil
+	}
+	cur := x
+	for _, c := range m.children {
+		next, err := c.forward(cur, train, dispatches)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// backward recursively dispatches gradients in reverse child order
+// (Torch's updateGradInput/accGradParameters chain).
+func (m *module) backward(grad *tensor.Tensor, dispatches *int) (*tensor.Tensor, error) {
+	*dispatches++
+	if m.layer != nil {
+		g, err := m.layer.Backward(grad)
+		if err != nil {
+			return nil, fmt.Errorf("module %q: %w", m.name, err)
+		}
+		return g, nil
+	}
+	cur := grad
+	for i := len(m.children) - 1; i >= 0; i-- {
+		prev, err := m.children[i].backward(cur, dispatches)
+		if err != nil {
+			return nil, err
+		}
+		cur = prev
+	}
+	return cur, nil
+}
+
+// depth returns the tree depth below (and including) m.
+func (m *module) depth() int {
+	best := 1
+	for _, c := range m.children {
+		if d := 1 + c.depth(); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// leaves counts leaf modules.
+func (m *module) leaves() int {
+	if m.layer != nil {
+		return 1
+	}
+	n := 0
+	for _, c := range m.children {
+		n += c.leaves()
+	}
+	return n
+}
+
+// containers counts container modules.
+func (m *module) containers() int {
+	if m.layer != nil {
+		return 0
+	}
+	n := 1
+	for _, c := range m.children {
+		n += c.containers()
+	}
+	return n
+}
+
+// ModuleExecutor is the Torch-style executor: it wraps the network in a
+// nested Sequential module tree (a "features" container holding the
+// convolutional stage and a "classifier" container holding the fully
+// connected stage, both under a root) and recursively dispatches through
+// it, mirroring Torch's container overhead.
+type ModuleExecutor struct {
+	net  *nn.Network
+	root *module
+}
+
+var _ Executor = (*ModuleExecutor)(nil)
+
+// NewModule constructs a module executor over net.
+func NewModule(net *nn.Network) (*ModuleExecutor, error) {
+	if net == nil {
+		return nil, ErrNilNetwork
+	}
+	layers := net.Layers()
+	// Split at the Flatten layer the way Torch scripts split
+	// features/classifier; if there is none, a single container is used.
+	split := -1
+	for i, l := range layers {
+		if _, ok := l.(*nn.Flatten); ok {
+			split = i
+			break
+		}
+	}
+	root := &module{name: "root"}
+	if split < 0 {
+		seq := &module{name: "sequential"}
+		for _, l := range layers {
+			seq.children = append(seq.children, &module{name: l.Name(), layer: l})
+		}
+		root.children = append(root.children, seq)
+	} else {
+		features := &module{name: "features"}
+		for _, l := range layers[:split] {
+			features.children = append(features.children, &module{name: l.Name(), layer: l})
+		}
+		classifier := &module{name: "classifier"}
+		for _, l := range layers[split:] {
+			classifier.children = append(classifier.children, &module{name: l.Name(), layer: l})
+		}
+		root.children = append(root.children, features, classifier)
+	}
+	return &ModuleExecutor{net: net, root: root}, nil
+}
+
+// Name implements Executor.
+func (e *ModuleExecutor) Name() string { return "module" }
+
+// Network implements Executor.
+func (e *ModuleExecutor) Network() *nn.Network { return e.net }
+
+// TrainBatch implements Executor.
+func (e *ModuleExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+	var d int
+	logits, err := e.root.forward(x, true, &d)
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	res, err := e.net.Loss(logits, labels)
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	if _, err := e.root.backward(res.Grad, &d); err != nil {
+		return nn.LossResult{}, err
+	}
+	return res, nil
+}
+
+// Logits implements Executor.
+func (e *ModuleExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var d int
+	return e.root.forward(x, false, &d)
+}
+
+// Predict implements Executor.
+func (e *ModuleExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := e.Logits(x)
+	if err != nil {
+		return nil, err
+	}
+	return predict(logits)
+}
+
+// Stats implements Executor.
+func (e *ModuleExecutor) Stats() Stats {
+	leaves := e.root.leaves()
+	containers := e.root.containers()
+	perPass := leaves + containers
+	return Stats{
+		// Forward + backward tree walks, plus Torch's per-leaf
+		// accGradParameters dispatch.
+		TrainDispatches: 2*perPass + leaves,
+		InferDispatches: perPass,
+		// Lua interpreter warmup + module construction.
+		StartupUnits: 2,
+		TreeDepth:    e.root.depth(),
+	}
+}

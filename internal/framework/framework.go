@@ -1,0 +1,184 @@
+// Package framework defines the three framework profiles the paper
+// compares — TensorFlow, Caffe and Torch — as simulacra over the shared
+// substrate: per-(framework, dataset) default hyperparameters (paper
+// Tables II and III), default network architectures (Tables IV and V),
+// framework metadata (Table I), engine bindings (graph / layerwise /
+// module executors) and calibrated device cost models.
+package framework
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+)
+
+// ErrUnknown is returned (wrapped) for unknown framework or dataset ids.
+var ErrUnknown = errors.New("framework: unknown identifier")
+
+// ID identifies one of the three reference DL frameworks.
+type ID int
+
+// The three frameworks of the paper's study.
+const (
+	TensorFlow ID = iota + 1
+	Caffe
+	Torch
+)
+
+// All lists the frameworks in the paper's presentation order.
+var All = []ID{TensorFlow, Caffe, Torch}
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	switch id {
+	case TensorFlow:
+		return "TensorFlow"
+	case Caffe:
+		return "Caffe"
+	case Torch:
+		return "Torch"
+	default:
+		return fmt.Sprintf("ID(%d)", int(id))
+	}
+}
+
+// Short returns the abbreviation used in the paper's tables.
+func (id ID) Short() string {
+	if id == TensorFlow {
+		return "TF"
+	}
+	return id.String()
+}
+
+// ParseID resolves a framework name ("tensorflow", "tf", "caffe",
+// "torch"), case-insensitively.
+func ParseID(s string) (ID, error) {
+	switch lower(s) {
+	case "tensorflow", "tf":
+		return TensorFlow, nil
+	case "caffe":
+		return Caffe, nil
+	case "torch":
+		return Torch, nil
+	default:
+		return 0, fmt.Errorf("%w: framework %q", ErrUnknown, s)
+	}
+}
+
+// DatasetID identifies one of the two benchmark datasets.
+type DatasetID int
+
+// The two datasets of the paper's study.
+const (
+	MNIST DatasetID = iota + 1
+	CIFAR10
+)
+
+// Datasets lists the dataset ids in paper order.
+var Datasets = []DatasetID{MNIST, CIFAR10}
+
+// String implements fmt.Stringer.
+func (d DatasetID) String() string {
+	switch d {
+	case MNIST:
+		return "MNIST"
+	case CIFAR10:
+		return "CIFAR-10"
+	default:
+		return fmt.Sprintf("DatasetID(%d)", int(d))
+	}
+}
+
+// ParseDataset resolves a dataset name ("mnist", "cifar10", "cifar-10").
+func ParseDataset(s string) (DatasetID, error) {
+	switch lower(s) {
+	case "mnist":
+		return MNIST, nil
+	case "cifar10", "cifar-10", "cifar":
+		return CIFAR10, nil
+	default:
+		return 0, fmt.Errorf("%w: dataset %q", ErrUnknown, s)
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
+}
+
+// Meta is the static framework description of the paper's Table I.
+type Meta struct {
+	Name      string
+	Version   string
+	HashTag   string
+	Library   string
+	Interface string
+	LoC       int
+	License   string
+	Website   string
+}
+
+// Meta returns the Table I row for the framework.
+func (id ID) Meta() Meta {
+	switch id {
+	case TensorFlow:
+		return Meta{
+			Name: "TensorFlow", Version: "1.3.0", HashTag: "ab0fcac",
+			Library: "Eigen & CUDA", Interface: "Java, Python, Go, R",
+			LoC: 1281085, License: "Apache", Website: "https://www.tensorflow.org/",
+		}
+	case Caffe:
+		return Meta{
+			Name: "Caffe", Version: "1.0.0", HashTag: "c430690",
+			Library: "OpenBLAS & CUDA", Interface: "Python, Matlab",
+			LoC: 69608, License: "BSD", Website: "http://caffe.berkeleyvision.org/",
+		}
+	case Torch:
+		return Meta{
+			Name: "Torch", Version: "torch7", HashTag: "0219027",
+			Library: "optim & CUDA", Interface: "Lua",
+			LoC: 29750, License: "BSD", Website: "http://torch.ch/",
+		}
+	default:
+		return Meta{Name: id.String()}
+	}
+}
+
+// Regularizer names the framework's default regularization technique —
+// the paper's Table IX contrasts TensorFlow's dropout with Caffe's weight
+// decay.
+func (id ID) Regularizer() string {
+	switch id {
+	case TensorFlow:
+		return "dropout"
+	case Caffe:
+		return "weight decay"
+	case Torch:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// NewExecutor binds a network to the framework's execution style:
+// TensorFlow compiles a dataflow graph, Caffe runs layer-wise over blobs,
+// Torch dispatches through a module tree.
+func NewExecutor(id ID, net *nn.Network, batchHint int) (engine.Executor, error) {
+	switch id {
+	case TensorFlow:
+		return engine.NewGraph(net)
+	case Caffe:
+		return engine.NewLayerwise(net, batchHint)
+	case Torch:
+		return engine.NewModule(net)
+	default:
+		return nil, fmt.Errorf("%w: framework %d", ErrUnknown, int(id))
+	}
+}

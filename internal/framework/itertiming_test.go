@@ -1,0 +1,47 @@
+package framework
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BenchmarkTrainIteration measures one training iteration of each
+// framework's CIFAR-10 default at its default batch size — the hot path
+// of the whole suite.
+func BenchmarkTrainIteration(b *testing.B) {
+	for _, fw := range All {
+		b.Run(fw.Short(), func(b *testing.B) {
+			in, err := InputFor(CIFAR10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net, err := BuildNetwork(fw, CIFAR10, in, NetworkOptions{Device: device.GPU, DropoutRate: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := tensor.NewRNG(1)
+			if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, rng); err != nil {
+				b.Fatal(err)
+			}
+			d, err := Defaults(fw, CIFAR10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := tensor.New(d.BatchSize, 3, 32, 32)
+			rng.FillNormal(x, 0, 1)
+			labels := make([]int, d.BatchSize)
+			for i := range labels {
+				labels[i] = rng.Intn(10)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.TrainStep(x, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

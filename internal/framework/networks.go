@@ -1,0 +1,355 @@
+package framework
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// InputShape describes the data a network will consume. When a default
+// setting is transferred across datasets (the paper's Figures 3/4), the
+// architecture's channel counts and layer plan stay fixed while the input
+// geometry — and therefore the fully connected fan-ins — adapt.
+type InputShape struct {
+	C, H, W int
+	Classes int
+}
+
+// InputFor returns the canonical input shape of a dataset.
+func InputFor(ds DatasetID) (InputShape, error) {
+	switch ds {
+	case MNIST:
+		return InputShape{C: 1, H: 28, W: 28, Classes: 10}, nil
+	case CIFAR10:
+		return InputShape{C: 3, H: 32, W: 32, Classes: 10}, nil
+	default:
+		return InputShape{}, fmt.Errorf("%w: dataset %d", ErrUnknown, int(ds))
+	}
+}
+
+// netBuilder incrementally assembles a network while tracking the running
+// per-sample shape, so architectures adapt to whatever input they are
+// applied to (the paper's cross-dataset experiments).
+type netBuilder struct {
+	net     *nn.Network
+	c, h, w int
+	err     error
+	n       int // layer ordinal for generated names
+}
+
+func newNetBuilder(name string, in InputShape) *netBuilder {
+	return &netBuilder{
+		net: nn.NewNetwork(name, []int{in.C, in.H, in.W}),
+		c:   in.C, h: in.H, w: in.W,
+	}
+}
+
+func (b *netBuilder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *netBuilder) add(l nn.Layer) {
+	if b.err != nil {
+		return
+	}
+	if err := b.net.Add(l); err != nil {
+		b.fail(err)
+	}
+}
+
+// conv appends a convolution with the given output channels, kernel,
+// stride and padding, optionally restricted by a connection table.
+func (b *netBuilder) conv(outC, kernel, stride, pad int, table [][]bool) {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	l, err := nn.NewConv2D(nn.Conv2DConfig{
+		Name: fmt.Sprintf("conv%d", b.n),
+		InC:  b.c, InH: b.h, InW: b.w,
+		OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		ConnTable: table,
+	})
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+	g := l.Geom()
+	b.c, b.h, b.w = outC, g.OutH(), g.OutW()
+}
+
+func (b *netBuilder) pool(kind nn.PoolKind, window, stride, pad int) {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	l, err := nn.NewPool2D(nn.Pool2DConfig{
+		Name: fmt.Sprintf("pool%d", b.n),
+		Kind: kind,
+		InC:  b.c, InH: b.h, InW: b.w,
+		Window: window, Stride: stride, Pad: pad,
+	})
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+	b.h = (b.h+2*pad-window)/stride + 1
+	b.w = (b.w+2*pad-window)/stride + 1
+}
+
+func (b *netBuilder) act(kind nn.ActKind) {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	l, err := nn.NewActivation(fmt.Sprintf("%s%d", kind, b.n), kind)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+}
+
+func (b *netBuilder) lrn() {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	l, err := nn.NewLRN(nn.LRNConfig{Name: fmt.Sprintf("norm%d", b.n)})
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+}
+
+func (b *netBuilder) flatten() {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	b.add(nn.NewFlatten(fmt.Sprintf("flat%d", b.n)))
+}
+
+// dense appends a fully connected layer; the fan-in is the current
+// flattened volume.
+func (b *netBuilder) dense(out int) {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	in := b.c * b.h * b.w
+	l, err := nn.NewDense(fmt.Sprintf("fc%d", b.n), in, out)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+	b.c, b.h, b.w = out, 1, 1
+}
+
+func (b *netBuilder) dropout(p float64, rng *tensor.RNG) {
+	if b.err != nil || p <= 0 {
+		return
+	}
+	b.n++
+	l, err := nn.NewDropout(fmt.Sprintf("drop%d", b.n), p, rng)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(l)
+}
+
+func (b *netBuilder) build() (*nn.Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	return b.net, nil
+}
+
+// NetworkOptions tunes BuildNetwork beyond the paper defaults.
+type NetworkOptions struct {
+	// Device selects device-specific layer variants: Torch's CIFAR-10
+	// network uses SpatialConvolutionMap (a partial connection table) on
+	// CPU and the fully connected SpatialConvolutionMM on GPU — the
+	// paper's explanation for its CPU/GPU accuracy gap.
+	Device device.Kind
+	// DropoutRate overrides the architecture's dropout rate when >= 0;
+	// use -1 to keep the default.
+	DropoutRate float64
+	// FC1Override, when > 0, overrides the width of the first fully
+	// connected layer — the paper's Table VIII/IX feature-map reduction
+	// study (TensorFlow 1024, Caffe 500 by default).
+	FC1Override int
+	// RNG seeds dropout masks; required when the architecture includes
+	// dropout.
+	RNG *tensor.RNG
+}
+
+// BuildNetwork constructs framework id's default architecture for dataset
+// arch (paper Tables IV/V), applied to data of shape in. When arch and the
+// actual input differ (cross-dataset transfer), the convolutional plan is
+// kept and the fully connected fan-ins adapt — mirroring how the paper
+// ported settings across datasets.
+func BuildNetwork(id ID, arch DatasetID, in InputShape, opts NetworkOptions) (*nn.Network, error) {
+	if opts.RNG == nil {
+		opts.RNG = tensor.NewRNG(0x9e3779b9)
+	}
+	name := fmt.Sprintf("%s-%s-net", lower(id.Short()), lower(arch.String()))
+	b := newNetBuilder(name, in)
+	fc1 := func(def int) int {
+		if opts.FC1Override > 0 {
+			return opts.FC1Override
+		}
+		return def
+	}
+	drop := func(def float64) float64 {
+		if opts.DropoutRate >= 0 {
+			return opts.DropoutRate
+		}
+		return def
+	}
+
+	switch {
+	case id == TensorFlow && arch == MNIST:
+		// Table IV: 5×5 conv 1→32 (ReLU, 2×2 max pool), 5×5 conv 32→64
+		// (ReLU, 2×2 max pool), fc 7·7·64→1024 (ReLU, dropout), fc →10.
+		b.conv(32, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		b.conv(64, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		b.flatten()
+		b.dense(fc1(1024))
+		b.act(nn.ReLU)
+		b.dropout(drop(0.5), opts.RNG)
+		b.dense(in.Classes)
+
+	case id == Caffe && arch == MNIST:
+		// Table IV: 5×5 conv 1→20 (2×2 max pool), 5×5 conv 20→50
+		// (2×2 max pool), fc 4·4·50→500 (ReLU), fc →10. LeNet convs are
+		// un-padded ("valid").
+		b.conv(20, 5, 1, 0, nil)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		b.conv(50, 5, 1, 0, nil)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		b.flatten()
+		b.dense(fc1(500))
+		b.act(nn.ReLU)
+		b.dropout(drop(0), opts.RNG)
+		b.dense(in.Classes)
+
+	case id == Torch && arch == MNIST:
+		// Table IV: 5×5 conv 1→32 (Tanh, 3×3 max pool), 5×5 conv 32→64
+		// (Tanh, 3×3 max pool), fc 3·3·64→200 (Tanh), fc →10. The 3×3
+		// pools stride 2, giving the table's 3×3×64 flatten.
+		b.conv(32, 5, 1, 0, nil)
+		b.act(nn.Tanh)
+		b.pool(nn.MaxPool, 3, 2, 0)
+		b.conv(64, 5, 1, 0, nil)
+		b.act(nn.Tanh)
+		b.pool(nn.MaxPool, 3, 2, 0)
+		b.flatten()
+		b.dense(fc1(200))
+		b.act(nn.Tanh)
+		b.dropout(drop(0), opts.RNG)
+		b.dense(in.Classes)
+
+	case id == TensorFlow && arch == CIFAR10:
+		// Table V: 5×5 conv 3→64 (ReLU, 3×3 max pool, LRN), 5×5 conv
+		// 64→64 (ReLU, LRN, 3×3 max pool), fc 7·7·64→384 (ReLU),
+		// fc 384→192 (ReLU), fc →10.
+		b.conv(64, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.pool(nn.MaxPool, 3, 2, 0)
+		b.lrn()
+		b.conv(64, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.lrn()
+		b.pool(nn.MaxPool, 3, 2, 0)
+		b.flatten()
+		b.dense(fc1(384))
+		b.act(nn.ReLU)
+		b.dense(192)
+		b.act(nn.ReLU)
+		b.dropout(drop(0), opts.RNG)
+		b.dense(in.Classes)
+
+	case id == Caffe && arch == CIFAR10:
+		// Table V: 5×5 conv 3→32 (3×3 max pool, ReLU), 5×5 conv 32→32
+		// (ReLU, 3×3 avg pool), 5×5 conv 32→64 (ReLU, 3×3 avg pool),
+		// fc 4·4·64→64, fc →10. Caffe's ceil-mode pooling is emulated
+		// with pad 1, preserving the table's 4×4×64 flatten.
+		b.conv(32, 5, 1, 2, nil)
+		b.pool(nn.MaxPool, 3, 2, 1)
+		b.act(nn.ReLU)
+		b.conv(32, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.pool(nn.AvgPool, 3, 2, 1)
+		b.conv(64, 5, 1, 2, nil)
+		b.act(nn.ReLU)
+		b.pool(nn.AvgPool, 3, 2, 1)
+		b.flatten()
+		b.dense(fc1(64))
+		b.dropout(drop(0), opts.RNG)
+		b.dense(in.Classes)
+
+	case id == Torch && arch == CIFAR10:
+		// Table V: 5×5 conv 3→16 (Tanh, 2×2 max pool), 5×5 conv 16→256
+		// (Tanh, 2×2 max pool), fc 5·5·256→128 (Tanh), fc →10. On CPU the
+		// second convolution is a SpatialConvolutionMap with a partial
+		// connection table (fan-in 4); on GPU Torch falls back to the
+		// fully connected SpatialConvolutionMM.
+		b.conv(16, 5, 1, 0, nil)
+		b.act(nn.Tanh)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		var table [][]bool
+		if opts.Device == device.CPU {
+			table = connectionTable(b.c, 256, 4)
+		}
+		b.conv(256, 5, 1, 0, table)
+		b.act(nn.Tanh)
+		b.pool(nn.MaxPool, 2, 2, 0)
+		b.flatten()
+		b.dense(fc1(128))
+		b.act(nn.Tanh)
+		b.dropout(drop(0), opts.RNG)
+		b.dense(in.Classes)
+
+	default:
+		return nil, fmt.Errorf("%w: network for %v/%v", ErrUnknown, id, arch)
+	}
+	net, err := b.build()
+	if err != nil {
+		return nil, fmt.Errorf("framework: build %s: %w", name, err)
+	}
+	return net, nil
+}
+
+// connectionTable builds the deterministic SpatialConvolutionMap-style
+// table: each of outC output maps connects to fanIn of the inC inputs,
+// assigned round-robin so every input is used equally.
+func connectionTable(inC, outC, fanIn int) [][]bool {
+	if fanIn > inC {
+		fanIn = inC
+	}
+	table := make([][]bool, outC)
+	next := 0
+	for oc := range table {
+		row := make([]bool, inC)
+		for k := 0; k < fanIn; k++ {
+			row[next%inC] = true
+			next++
+		}
+		table[oc] = row
+	}
+	return table
+}

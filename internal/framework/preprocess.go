@@ -1,0 +1,78 @@
+package framework
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// Preprocessing identifies the input transform a framework's data
+// pipeline applies to a dataset. It belongs to the *executing framework*
+// (its reader/transform layer for that dataset), not to the transferred
+// hyperparameter setting — which is precisely why hyperparameters tuned
+// against one pipeline can explode on another (the paper's Figure 5).
+type Preprocessing int
+
+// The three pipelines of the paper's frameworks.
+const (
+	// PrepScale01 feeds pixels scaled to [0,1] — every MNIST pipeline
+	// (Caffe's LeNet transform scale=1/256, TF's and Torch's loaders).
+	PrepScale01 Preprocessing = iota + 1
+	// PrepStandardize applies per-image standardization — TensorFlow's
+	// CIFAR-10 reader (tf.image.per_image_standardization) and Torch's
+	// CIFAR script normalization.
+	PrepStandardize
+	// PrepCaffeRaw is Caffe's CIFAR-10 LMDB pipeline: mean-image
+	// subtraction with NO rescaling, leaving inputs in ±128 range. This
+	// is why cifar10_quick's conv1 filler is σ=1e-4 — and why imported
+	// settings with ordinary initializations and learning rates diverge
+	// straight into the ln(FLT_MAX) loss clamp under Caffe on CIFAR-10.
+	PrepCaffeRaw
+)
+
+// String implements fmt.Stringer.
+func (p Preprocessing) String() string {
+	switch p {
+	case PrepScale01:
+		return "scale-1/256"
+	case PrepStandardize:
+		return "per-image-standardize"
+	case PrepCaffeRaw:
+		return "mean-subtract-raw-255"
+	default:
+		return fmt.Sprintf("Preprocessing(%d)", int(p))
+	}
+}
+
+// PreprocessingFor returns the executing framework's input pipeline for a
+// dataset.
+func PreprocessingFor(fw ID, ds DatasetID) Preprocessing {
+	if ds == CIFAR10 {
+		switch fw {
+		case Caffe:
+			return PrepCaffeRaw
+		case TensorFlow, Torch:
+			return PrepStandardize
+		}
+	}
+	return PrepScale01
+}
+
+// ApplyPreprocessing transforms a [0,1]-pixel batch in place according to
+// the pipeline.
+func ApplyPreprocessing(p Preprocessing, x *tensor.Tensor) {
+	switch p {
+	case PrepStandardize:
+		data.StandardizeBatch(x)
+	case PrepCaffeRaw:
+		// (x − mean)·255 with the dataset mean approximated by 0.5: the
+		// synthetic CIFAR generator is calibrated around mid-gray.
+		d := x.Data()
+		for i := range d {
+			d[i] = (d[i] - 0.5) * 255
+		}
+	default:
+		// PrepScale01: synthetic pixels are already in [0,1].
+	}
+}

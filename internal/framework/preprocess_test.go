@@ -1,0 +1,51 @@
+package framework
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestApplyPreprocessingScale01IsNoOp(t *testing.T) {
+	x := tensor.MustFrom([]float64{0.1, 0.9}, 1, 2)
+	ApplyPreprocessing(PrepScale01, x)
+	if x.Data()[0] != 0.1 || x.Data()[1] != 0.9 {
+		t.Fatal("scale-01 pipeline must not alter [0,1] pixels")
+	}
+}
+
+func TestApplyPreprocessingCaffeRawRange(t *testing.T) {
+	x := tensor.MustFrom([]float64{0, 0.5, 1}, 1, 3)
+	ApplyPreprocessing(PrepCaffeRaw, x)
+	want := []float64{-127.5, 0, 127.5}
+	for i, v := range x.Data() {
+		if math.Abs(v-want[i]) > 1e-9 {
+			t.Fatalf("caffe raw[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestApplyPreprocessingStandardize(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillUniform(x, 0.1, 0.9)
+	ApplyPreprocessing(PrepStandardize, x)
+	// First sample now has ≈zero mean.
+	sum := 0.0
+	for _, v := range x.Data()[:64] {
+		sum += v
+	}
+	if math.Abs(sum/64) > 1e-9 {
+		t.Fatalf("standardized mean %v", sum/64)
+	}
+}
+
+func TestPreprocessingString(t *testing.T) {
+	if PrepScale01.String() == "" || PrepCaffeRaw.String() == "" || PrepStandardize.String() == "" {
+		t.Fatal("empty pipeline names")
+	}
+	if Preprocessing(9).String() != "Preprocessing(9)" {
+		t.Fatal("unknown pipeline name")
+	}
+}

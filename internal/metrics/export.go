@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON encodes results as indented JSON to w — the machine-readable
+// companion to the text tables.
+func WriteJSON(w io.Writer, results []RunResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return fmt.Errorf("metrics: write json: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes results written by WriteJSON.
+func ReadJSON(r io.Reader) ([]RunResult, error) {
+	var out []RunResult
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("metrics: read json: %w", err)
+	}
+	return out, nil
+}
+
+// csvHeader is the flat column layout of WriteCSV.
+var csvHeader = []string{
+	"framework", "settings", "dataset", "device",
+	"train_model_s", "train_wall_s", "test_model_s", "test_wall_s",
+	"accuracy_pct", "final_loss", "converged", "epochs",
+}
+
+// WriteCSV encodes results as CSV (loss histories omitted).
+func WriteCSV(w io.Writer, results []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	for _, r := range results {
+		row := []string{
+			r.Framework, r.Settings, r.Dataset, r.Device,
+			strconv.FormatFloat(r.Train.ModelSeconds, 'f', 4, 64),
+			strconv.FormatFloat(r.Train.WallSeconds, 'f', 4, 64),
+			strconv.FormatFloat(r.Test.ModelSeconds, 'f', 4, 64),
+			strconv.FormatFloat(r.Test.WallSeconds, 'f', 4, 64),
+			strconv.FormatFloat(r.AccuracyPct, 'f', 4, 64),
+			strconv.FormatFloat(r.FinalLoss, 'f', 6, 64),
+			strconv.FormatBool(r.Converged),
+			strconv.Itoa(r.Epochs),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush csv: %w", err)
+	}
+	return nil
+}
+
+// JSON tags for RunResult serialization live on the type itself via
+// MarshalJSON-free struct encoding; field names are exported as-is.

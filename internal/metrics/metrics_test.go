@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	tests := []struct {
+		name    string
+		preds   []int
+		labels  []int
+		want    float64
+		wantErr bool
+	}{
+		{name: "all correct", preds: []int{1, 2, 3}, labels: []int{1, 2, 3}, want: 100},
+		{name: "half", preds: []int{1, 0}, labels: []int{1, 1}, want: 50},
+		{name: "none", preds: []int{0}, labels: []int{1}, want: 0},
+		{name: "mismatch", preds: []int{1}, labels: []int{1, 2}, wantErr: true},
+		{name: "empty", preds: nil, labels: nil, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Accuracy(tt.preds, tt.labels)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v", err)
+			}
+			if err == nil && math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Accuracy = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); !errors.Is(err, ErrInput) {
+		t.Fatal("mismatch must wrap ErrInput")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c, err := NewConfusion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := [][2]int{{0, 0}, {0, 1}, {1, 1}, {2, 2}, {2, 2}}
+	for _, o := range obs {
+		if err := c.Add(o[0], o[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-80) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 80", got)
+	}
+	if got := c.Rate(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Rate(0,1) = %v, want 0.5", got)
+	}
+	if got := c.Rate(1, 1); got != 1 {
+		t.Fatalf("Rate(1,1) = %v", got)
+	}
+	if got := c.Count(2, 2); got != 2 {
+		t.Fatalf("Count(2,2) = %d", got)
+	}
+	if err := c.Add(3, 0); !errors.Is(err, ErrInput) {
+		t.Fatalf("out-of-range add err = %v", err)
+	}
+	if _, err := NewConfusion(0); !errors.Is(err, ErrInput) {
+		t.Fatal("zero classes must error")
+	}
+}
+
+func TestConfusionEmptyRates(t *testing.T) {
+	c, err := NewConfusion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 0 || c.Rate(0, 0) != 0 {
+		t.Fatal("empty confusion must report zeros")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Framework", "Accuracy (%)")
+	tbl.AddRow("TF", "99.22")
+	tbl.AddRow("Caffe") // short row padded
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Framework") || !strings.Contains(lines[0], "Accuracy") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "99.22") {
+		t.Fatalf("row missing: %q", lines[2])
+	}
+	// Columns aligned: all lines equal length.
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatSeconds(68.514) != "68.51" {
+		t.Fatal("FormatSeconds")
+	}
+	if FormatPct(99.218) != "99.22" {
+		t.Fatal("FormatPct")
+	}
+}

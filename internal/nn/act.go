@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Activation is an elementwise nonlinearity layer. It works on inputs of
+// any shape and preserves them.
+type Activation struct {
+	name string
+	kind ActKind
+
+	lastOutput *tensor.Tensor // cached for backward (all kinds are
+	// expressible through their output)
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Activation)(nil)
+
+// ActKind selects the nonlinearity.
+type ActKind int
+
+// Supported activation functions. ReLU is the TensorFlow/Caffe default in
+// the paper's architectures; Tanh is Torch's.
+const (
+	ReLU ActKind = iota + 1
+	Tanh
+	Sigmoid
+)
+
+// String implements fmt.Stringer.
+func (k ActKind) String() string {
+	switch k {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("ActKind(%d)", int(k))
+	}
+}
+
+// NewActivation constructs an activation layer of the given kind.
+func NewActivation(name string, kind ActKind) (*Activation, error) {
+	switch kind {
+	case ReLU, Tanh, Sigmoid:
+		return &Activation{name: name, kind: kind}, nil
+	default:
+		return nil, fmt.Errorf("activation %q: unknown kind %d", name, kind)
+	}
+}
+
+// Name implements Layer.
+func (a *Activation) Name() string { return a.name }
+
+// Kind returns the nonlinearity kind.
+func (a *Activation) Kind() ActKind { return a.kind }
+
+// Params implements Layer.
+func (a *Activation) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (a *Activation) OutShape(in []int) ([]int, error) {
+	return append([]int(nil), in...), nil
+}
+
+// FLOPsPerSample implements Layer. Transcendental activations are charged
+// a higher per-element cost than ReLU's single comparison.
+func (a *Activation) FLOPsPerSample(in []int) int64 {
+	n := int64(tensor.Volume(in))
+	switch a.kind {
+	case ReLU:
+		return n
+	default:
+		return 8 * n
+	}
+}
+
+// Forward implements Layer.
+func (a *Activation) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	out := x.Clone()
+	switch a.kind {
+	case ReLU:
+		tensor.Apply(out, func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	case Tanh:
+		tensor.Apply(out, math.Tanh)
+	case Sigmoid:
+		tensor.Apply(out, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	}
+	a.lastInput = x
+	a.lastOutput = out
+	return out, nil
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.lastOutput == nil {
+		return nil, fmt.Errorf("activation %q: %w", a.name, ErrNoForward)
+	}
+	if gradOut.Len() != a.lastOutput.Len() {
+		return nil, fmt.Errorf("activation %q backward: %w", a.name, ErrShape)
+	}
+	gradIn := gradOut.Clone()
+	y := a.lastOutput.Data()
+	g := gradIn.Data()
+	switch a.kind {
+	case ReLU:
+		x := a.lastInput.Data()
+		for i := range g {
+			if x[i] <= 0 {
+				g[i] = 0
+			}
+		}
+	case Tanh:
+		for i := range g {
+			g[i] *= 1 - y[i]*y[i]
+		}
+	case Sigmoid:
+		for i := range g {
+			g[i] *= y[i] * (1 - y[i])
+		}
+	}
+	return gradIn, nil
+}
+
+// Flatten reshapes [N, ...] inputs to [N, D]. It is a pure view layer with
+// no parameters and no cost.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	return []int{tensor.Volume(in)}, nil
+}
+
+// FLOPsPerSample implements Layer.
+func (f *Flatten) FLOPsPerSample([]int) int64 { return 0 }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, sample, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	f.lastShape = x.Shape()
+	return x.Reshape(n, tensor.Volume(sample))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("flatten %q: %w", f.name, ErrNoForward)
+	}
+	return gradOut.Reshape(f.lastShape...)
+}

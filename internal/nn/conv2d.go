@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer lowered to GEMM through im2col.
+//
+// Inputs are batch-major [N, C, H, W]; outputs are [N, OutC, OutH, OutW].
+// An optional connection table restricts which (output, input) channel
+// pairs are connected, mirroring Torch's SpatialConvolutionMap used on CPU
+// for CIFAR-10 (the paper's Section III.B observation).
+type Conv2D struct {
+	name   string
+	geom   tensor.ConvGeom
+	weight *Param // [OutC, InC*KH*KW]
+	bias   *Param // [OutC]
+	// mask is nil for fully connected channels; otherwise it has weight's
+	// shape with 1 where a connection exists and 0 elsewhere.
+	mask *tensor.Tensor
+
+	// Cached forward state for Backward.
+	lastInput *tensor.Tensor
+	lastCols  []*tensor.Tensor // per-sample column matrices
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// Conv2DConfig configures NewConv2D.
+type Conv2DConfig struct {
+	Name     string
+	InC      int
+	InH, InW int
+	OutC     int
+	Kernel   int // square kernel size
+	Stride   int
+	Pad      int
+	// ConnTable, if non-nil, is OutC rows of InC booleans selecting which
+	// input channels feed each output channel (SpatialConvolutionMap
+	// semantics). Nil means full connectivity.
+	ConnTable [][]bool
+}
+
+// NewConv2D constructs a convolution layer. Weights start at zero; call an
+// initializer from init.go before training.
+func NewConv2D(cfg Conv2DConfig) (*Conv2D, error) {
+	g := tensor.ConvGeom{
+		InC: cfg.InC, InH: cfg.InH, InW: cfg.InW,
+		KH: cfg.Kernel, KW: cfg.Kernel,
+		StrideH: cfg.Stride, StrideW: cfg.Stride,
+		PadH: cfg.Pad, PadW: cfg.Pad,
+		OutC: cfg.OutC,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("conv2d %q: %w", cfg.Name, err)
+	}
+	kVol := g.InC * g.KH * g.KW
+	c := &Conv2D{
+		name:   cfg.Name,
+		geom:   g,
+		weight: newParam(cfg.Name+".weight", []int{g.OutC, kVol}, true),
+		bias:   newParam(cfg.Name+".bias", []int{g.OutC}, false),
+	}
+	if cfg.ConnTable != nil {
+		if len(cfg.ConnTable) != g.OutC {
+			return nil, fmt.Errorf("conv2d %q: %w: connection table has %d rows, want %d", cfg.Name, ErrShape, len(cfg.ConnTable), g.OutC)
+		}
+		mask := tensor.New(g.OutC, kVol)
+		per := g.KH * g.KW
+		for oc, row := range cfg.ConnTable {
+			if len(row) != g.InC {
+				return nil, fmt.Errorf("conv2d %q: %w: connection row %d has %d cols, want %d", cfg.Name, ErrShape, oc, len(row), g.InC)
+			}
+			for ic, on := range row {
+				if !on {
+					continue
+				}
+				base := oc*kVol + ic*per
+				for k := 0; k < per; k++ {
+					mask.Data()[base+k] = 1
+				}
+			}
+		}
+		c.mask = mask
+	}
+	return c, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// Geom returns the convolution geometry (used by the cost model and
+// reports).
+func (c *Conv2D) Geom() tensor.ConvGeom { return c.geom }
+
+// ApplyMask re-zeroes masked weights. Optimizers that update weights in
+// place call this indirectly via MaskedParams; the layer also applies the
+// mask lazily at Forward so plain optimizers stay correct.
+func (c *Conv2D) ApplyMask() {
+	if c.mask == nil {
+		return
+	}
+	w, m := c.weight.Value.Data(), c.mask.Data()
+	for i := range w {
+		w[i] *= m[i]
+	}
+}
+
+// ReleaseBuffers drops the cached forward state (input reference and
+// im2col column buffers). Call it when a trained network goes dormant in
+// a cache; the next Forward reallocates.
+func (c *Conv2D) ReleaseBuffers() {
+	c.lastInput = nil
+	c.lastCols = nil
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	want := []int{c.geom.InC, c.geom.InH, c.geom.InW}
+	if !shapeEq(in, want) {
+		return nil, fmt.Errorf("conv2d %q: %w: input %v, want %v", c.name, ErrShape, in, want)
+	}
+	return []int{c.geom.OutC, c.geom.OutH(), c.geom.OutW()}, nil
+}
+
+// mapConvCostFactor scales the cost estimate of connection-table
+// convolutions. Torch's SpatialConvolutionMap computes only the connected
+// channel pairs but does so with scalar loops instead of GEMM, which on
+// CPUs is an order of magnitude less efficient; with the fan-in ratios the
+// paper's network uses, the net effect is ≈8× the cost of the equivalent
+// dense GEMM convolution.
+const mapConvCostFactor = 8
+
+// FLOPsPerSample implements Layer: 2·MACs for the GEMM plus the bias
+// adds, in GEMM-normalized cost units (see mapConvCostFactor).
+func (c *Conv2D) FLOPsPerSample(in []int) int64 {
+	g := c.geom
+	outPix := int64(g.OutH() * g.OutW())
+	kVol := int64(g.InC * g.KH * g.KW)
+	cost := 2*int64(g.OutC)*kVol*outPix + int64(g.OutC)*outPix
+	if c.mask != nil {
+		cost *= mapConvCostFactor
+	}
+	return cost
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, sample, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.OutShape(sample); err != nil {
+		return nil, err
+	}
+	c.ApplyMask()
+	g := c.geom
+	outH, outW := g.OutH(), g.OutW()
+	kVol := g.InC * g.KH * g.KW
+	imgLen := g.InC * g.InH * g.InW
+	outLen := g.OutC * outH * outW
+
+	out := tensor.New(n, g.OutC, outH, outW)
+	// Reuse the previous iteration's column buffers when the batch shape
+	// is unchanged: they are large (kVol·outPix per sample) and otherwise
+	// dominate allocation churn.
+	cols := c.lastCols
+	if len(cols) != n || (n > 0 && cols[0].Len() != kVol*outH*outW) {
+		cols = make([]*tensor.Tensor, n)
+		for i := range cols {
+			cols[i] = tensor.New(kVol, outH*outW)
+		}
+	}
+	var firstErr error
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			col := cols[i]
+			tensor.Im2Col(col.Data(), x.Data()[i*imgLen:(i+1)*imgLen], g)
+			dst, err := tensor.From(out.Data()[i*outLen:(i+1)*outLen], g.OutC, outH*outW)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if err := tensor.MatMul(dst, c.weight.Value, col); err != nil {
+				firstErr = err
+				return
+			}
+			// Bias per output channel.
+			for oc := 0; oc < g.OutC; oc++ {
+				b := c.bias.Value.Data()[oc]
+				row := dst.Data()[oc*outH*outW : (oc+1)*outH*outW]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, fmt.Errorf("conv2d %q forward: %w", c.name, firstErr)
+	}
+	c.lastInput = x
+	c.lastCols = cols
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastInput == nil {
+		return nil, fmt.Errorf("conv2d %q: %w", c.name, ErrNoForward)
+	}
+	g := c.geom
+	n := c.lastInput.Dim(0)
+	outH, outW := g.OutH(), g.OutW()
+	kVol := g.InC * g.KH * g.KW
+	imgLen := g.InC * g.InH * g.InW
+	outLen := g.OutC * outH * outW
+	if gradOut.Len() != n*outLen {
+		return nil, fmt.Errorf("conv2d %q backward: %w: grad %v", c.name, ErrShape, gradOut.Shape())
+	}
+
+	gradIn := tensor.New(n, g.InC, g.InH, g.InW)
+	// Per-sample weight-gradient partials are accumulated into per-worker
+	// buffers and reduced afterwards to avoid a lock in the hot loop.
+	type partial struct {
+		w *tensor.Tensor
+		b *tensor.Tensor
+	}
+	partials := make([]partial, 0, 8)
+	var firstErr error
+	// Sequential over batch for the shared weight gradient; the inner
+	// GEMMs already parallelize over rows.
+	acc := partial{w: tensor.New(g.OutC, kVol), b: tensor.New(g.OutC)}
+	for i := 0; i < n; i++ {
+		gradSample, err := tensor.From(gradOut.Data()[i*outLen:(i+1)*outLen], g.OutC, outH*outW)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		// dW += gradSample · colᵀ  (OutC×outPix · outPix×kVol)
+		colT := c.lastCols[i] // kVol × outPix; use MatMulTransB with B=col
+		dw := tensor.New(g.OutC, kVol)
+		if err := tensor.MatMulTransB(dw, gradSample, colT); err != nil {
+			firstErr = err
+			break
+		}
+		if err := tensor.Add(acc.w, dw); err != nil {
+			firstErr = err
+			break
+		}
+		// dB += row sums of gradSample.
+		for oc := 0; oc < g.OutC; oc++ {
+			s := 0.0
+			row := gradSample.Data()[oc*outH*outW : (oc+1)*outH*outW]
+			for _, v := range row {
+				s += v
+			}
+			acc.b.Data()[oc] += s
+		}
+		// dX = col2im(Wᵀ · gradSample).
+		dcol := tensor.New(kVol, outH*outW)
+		if err := tensor.MatMulTransA(dcol, c.weight.Value, gradSample); err != nil {
+			firstErr = err
+			break
+		}
+		tensor.Col2Im(gradIn.Data()[i*imgLen:(i+1)*imgLen], dcol.Data(), g)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("conv2d %q backward: %w", c.name, firstErr)
+	}
+	partials = append(partials, acc)
+	for _, p := range partials {
+		if c.mask != nil {
+			if err := tensor.Mul(p.w, c.mask); err != nil {
+				return nil, fmt.Errorf("conv2d %q backward mask: %w", c.name, err)
+			}
+		}
+		if err := tensor.Add(c.weight.Grad, p.w); err != nil {
+			return nil, fmt.Errorf("conv2d %q backward: %w", c.name, err)
+		}
+		if err := tensor.Add(c.bias.Grad, p.b); err != nil {
+			return nil, fmt.Errorf("conv2d %q backward: %w", c.name, err)
+		}
+	}
+	return gradIn, nil
+}

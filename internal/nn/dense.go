@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape
+// [Out, In]. Inputs are [N, In]; use Flatten before a Dense layer that
+// follows convolutions.
+type Dense struct {
+	name    string
+	in, out int
+	weight  *Param // [Out, In]
+	bias    *Param // [Out]
+
+	lastInput *tensor.Tensor
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a fully connected layer mapping in features to out
+// features.
+func NewDense(name string, in, out int) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("dense %q: %w: %d -> %d", name, ErrShape, in, out)
+	}
+	return &Dense{
+		name:   name,
+		in:     in,
+		out:    out,
+		weight: newParam(name+".weight", []int{out, in}, true),
+		bias:   newParam(name+".bias", []int{out}, false),
+	}, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
+
+// InFeatures returns the input width.
+func (d *Dense) InFeatures() int { return d.in }
+
+// OutFeatures returns the output width.
+func (d *Dense) OutFeatures() int { return d.out }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.in {
+		return nil, fmt.Errorf("dense %q: %w: input %v, want [%d]", d.name, ErrShape, in, d.in)
+	}
+	return []int{d.out}, nil
+}
+
+// FLOPsPerSample implements Layer.
+func (d *Dense) FLOPsPerSample(in []int) int64 {
+	return 2*int64(d.in)*int64(d.out) + int64(d.out)
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, sample, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.OutShape(sample); err != nil {
+		return nil, err
+	}
+	out := tensor.New(n, d.out)
+	x2 := x.MustReshape(n, d.in)
+	// out = x · Wᵀ
+	if err := tensor.MatMulTransB(out, x2, d.weight.Value); err != nil {
+		return nil, fmt.Errorf("dense %q forward: %w", d.name, err)
+	}
+	b := d.bias.Value.Data()
+	for i := 0; i < n; i++ {
+		row := out.Data()[i*d.out : (i+1)*d.out]
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+	d.lastInput = x2
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastInput == nil {
+		return nil, fmt.Errorf("dense %q: %w", d.name, ErrNoForward)
+	}
+	n := d.lastInput.Dim(0)
+	if gradOut.Len() != n*d.out {
+		return nil, fmt.Errorf("dense %q backward: %w: grad %v", d.name, ErrShape, gradOut.Shape())
+	}
+	g2 := gradOut.MustReshape(n, d.out)
+	// dW += gᵀ · x  ([Out,N]·[N,In]); use TransA with A = g2 (N×Out).
+	dw := tensor.New(d.out, d.in)
+	if err := tensor.MatMulTransA(dw, g2, d.lastInput); err != nil {
+		return nil, fmt.Errorf("dense %q backward dW: %w", d.name, err)
+	}
+	if err := tensor.Add(d.weight.Grad, dw); err != nil {
+		return nil, err
+	}
+	// dB += column sums of g.
+	db := d.bias.Grad.Data()
+	for i := 0; i < n; i++ {
+		row := g2.Data()[i*d.out : (i+1)*d.out]
+		for j, v := range row {
+			db[j] += v
+		}
+	}
+	// dX = g · W  ([N,Out]·[Out,In]).
+	gradIn := tensor.New(n, d.in)
+	if err := tensor.MatMul(gradIn, g2, d.weight.Value); err != nil {
+		return nil, fmt.Errorf("dense %q backward dX: %w", d.name, err)
+	}
+	return gradIn, nil
+}

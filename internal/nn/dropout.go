@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each element is
+// zeroed with probability p and survivors are scaled by 1/(1-p); during
+// inference it is the identity. TensorFlow's MNIST default uses dropout as
+// its regularizer — the paper's Table IX contrasts it with Caffe's weight
+// decay.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *tensor.RNG
+
+	lastMask *tensor.Tensor
+	training bool
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with drop probability p drawing
+// its masks from rng.
+func NewDropout(name string, p float64, rng *tensor.RNG) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("dropout %q: probability %v out of [0,1)", name, p)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("dropout %q: nil RNG", name)
+	}
+	return &Dropout{name: name, p: p, rng: rng}, nil
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Rate returns the configured drop probability.
+func (d *Dropout) Rate() float64 { return d.p }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) {
+	return append([]int(nil), in...), nil
+}
+
+// FLOPsPerSample implements Layer.
+func (d *Dropout) FLOPsPerSample(in []int) int64 {
+	return int64(tensor.Volume(in))
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	d.training = train
+	if !train || d.p == 0 {
+		d.lastMask = nil
+		return x, nil
+	}
+	keep := 1 - d.p
+	scale := 1 / keep
+	mask := tensor.New(x.Shape()...)
+	out := x.Clone()
+	m := mask.Data()
+	o := out.Data()
+	for i := range o {
+		if d.rng.Float64() < keep {
+			m[i] = scale
+			o[i] *= scale
+		} else {
+			m[i] = 0
+			o[i] = 0
+		}
+	}
+	d.lastMask = mask
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if !d.training || d.lastMask == nil {
+		return gradOut, nil
+	}
+	if gradOut.Len() != d.lastMask.Len() {
+		return nil, fmt.Errorf("dropout %q backward: %w", d.name, ErrShape)
+	}
+	gradIn := gradOut.Clone()
+	if err := tensor.Mul(gradIn, d.lastMask); err != nil {
+		return nil, err
+	}
+	return gradIn, nil
+}

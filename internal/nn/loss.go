@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CaffeLossClamp is the maximum per-sample loss value reported by the
+// Caffe-style executor. Caffe clamps log-loss at ln(FLT_MAX)≈87.3365; the
+// paper's Figure 5 shows a diverged Caffe run whose training loss sits at
+// a constant 87.34 because of exactly this clamp.
+const CaffeLossClamp = 87.3365
+
+// SoftmaxCrossEntropy fuses the softmax activation with the negative
+// log-likelihood loss. It is numerically stabilized by max-subtraction.
+type SoftmaxCrossEntropy struct {
+	// ClampLoss, when > 0, limits the per-sample loss (Caffe semantics).
+	ClampLoss float64
+}
+
+// LossResult carries the outcome of one loss evaluation over a batch.
+type LossResult struct {
+	// Loss is the mean per-sample loss.
+	Loss float64
+	// Probs holds the softmax probabilities, shape [N, Classes].
+	Probs *tensor.Tensor
+	// Grad is ∂loss/∂logits (already divided by batch size), shape
+	// [N, Classes].
+	Grad *tensor.Tensor
+}
+
+// Eval computes the mean cross-entropy loss of logits [N, C] against
+// integer labels, along with probabilities and the logits gradient.
+func (s SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, labels []int) (LossResult, error) {
+	if logits.Dims() != 2 {
+		return LossResult{}, fmt.Errorf("%w: logits must be [N,C], got %v", ErrShape, logits.Shape())
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		return LossResult{}, fmt.Errorf("%w: %d labels for %d samples", ErrShape, len(labels), n)
+	}
+	probs := tensor.New(n, c)
+	grad := tensor.New(n, c)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if labels[i] < 0 || labels[i] >= c {
+			return LossResult{}, fmt.Errorf("%w: label %d out of range [0,%d)", ErrShape, labels[i], c)
+		}
+		row := logits.Data()[i*c : (i+1)*c]
+		prow := probs.Data()[i*c : (i+1)*c]
+		maxv := math.Inf(-1)
+		finite := true
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				finite = false
+				break
+			}
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if !finite {
+			// A diverged network produces non-finite logits. Emit the
+			// clamped loss and a zero gradient so training continues
+			// without propagating NaNs (Caffe-like behaviour).
+			loss := s.ClampLoss
+			if loss <= 0 {
+				loss = CaffeLossClamp
+			}
+			total += loss
+			uniform := 1.0 / float64(c)
+			for j := range prow {
+				prow[j] = uniform
+			}
+			continue
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			prow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range prow {
+			prow[j] *= inv
+		}
+		p := prow[labels[i]]
+		loss := -math.Log(math.Max(p, math.SmallestNonzeroFloat64))
+		if s.ClampLoss > 0 && loss > s.ClampLoss {
+			loss = s.ClampLoss
+		}
+		total += loss
+		grow := grad.Data()[i*c : (i+1)*c]
+		scale := 1 / float64(n)
+		for j := range grow {
+			grow[j] = prow[j] * scale
+		}
+		grow[labels[i]] -= scale
+	}
+	return LossResult{Loss: total / float64(n), Probs: probs, Grad: grad}, nil
+}
+
+// Softmax computes row-wise softmax probabilities of logits [N, C].
+func Softmax(logits *tensor.Tensor) (*tensor.Tensor, error) {
+	if logits.Dims() != 2 {
+		return nil, fmt.Errorf("%w: logits must be [N,C], got %v", ErrShape, logits.Shape())
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	probs := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := logits.Data()[i*c : (i+1)*c]
+		prow := probs.Data()[i*c : (i+1)*c]
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			prow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range prow {
+			prow[j] *= inv
+		}
+	}
+	return probs, nil
+}

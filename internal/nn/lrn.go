@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRN is across-channel local response normalization:
+//
+//	b[c] = a[c] / (k + α·Σ_{c'∈window(c)} a[c']²)^β
+//
+// TensorFlow's CIFAR-10 default network (paper Table V) interleaves LRN
+// with its convolution layers; Caffe and Torch defaults do not use it.
+type LRN struct {
+	name  string
+	depth int // window size (total channels considered, centered)
+	k     float64
+	alpha float64
+	beta  float64
+
+	lastInput *tensor.Tensor
+	lastDenom *tensor.Tensor // d[c] = k + α·Σ a²  (pre-exponent)
+	lastPow   *tensor.Tensor // d^(−β), cached to keep math.Pow out of Backward
+	lastShape []int
+}
+
+var _ Layer = (*LRN)(nil)
+
+// LRNConfig configures NewLRN. Zero values select the TensorFlow CIFAR-10
+// tutorial constants (depth 9, k=1, α=0.001/9, β=0.75).
+type LRNConfig struct {
+	Name  string
+	Depth int
+	K     float64
+	Alpha float64
+	Beta  float64
+}
+
+// NewLRN constructs a local response normalization layer.
+func NewLRN(cfg LRNConfig) (*LRN, error) {
+	l := &LRN{name: cfg.Name, depth: cfg.Depth, k: cfg.K, alpha: cfg.Alpha, beta: cfg.Beta}
+	if l.depth == 0 {
+		l.depth = 9
+	}
+	if l.k == 0 {
+		l.k = 1
+	}
+	if l.alpha == 0 {
+		l.alpha = 0.001 / 9.0
+	}
+	if l.beta == 0 {
+		l.beta = 0.75
+	}
+	if l.depth < 1 {
+		return nil, fmt.Errorf("lrn %q: depth %d < 1", cfg.Name, l.depth)
+	}
+	return l, nil
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *LRN) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("lrn %q: %w: want [C,H,W], got %v", l.name, ErrShape, in)
+	}
+	return append([]int(nil), in...), nil
+}
+
+// FLOPsPerSample implements Layer.
+func (l *LRN) FLOPsPerSample(in []int) int64 {
+	return int64(tensor.Volume(in)) * int64(l.depth+8)
+}
+
+func (l *LRN) window(c, channels int) (lo, hi int) {
+	half := l.depth / 2
+	lo = c - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi = c + half
+	if hi > channels-1 {
+		hi = channels - 1
+	}
+	return lo, hi
+}
+
+// Forward implements Layer.
+func (l *LRN) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, sample, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.OutShape(sample); err != nil {
+		return nil, err
+	}
+	channels, h, w := sample[0], sample[1], sample[2]
+	plane := h * w
+	out := tensor.New(x.Shape()...)
+	denom := tensor.New(x.Shape()...)
+	dpow := tensor.New(x.Shape()...)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * channels * plane
+			for c := 0; c < channels; c++ {
+				wlo, whi := l.window(c, channels)
+				for p := 0; p < plane; p++ {
+					s := 0.0
+					for cc := wlo; cc <= whi; cc++ {
+						v := x.Data()[base+cc*plane+p]
+						s += v * v
+					}
+					d := l.k + l.alpha*s
+					var pw float64
+					if l.beta == 0.75 {
+						// d^(−3/4) = 1/√(d·√d): two sqrts beat Pow in the
+						// hot path and are exact for the default β.
+						pw = 1 / math.Sqrt(d*math.Sqrt(d))
+					} else {
+						pw = math.Pow(d, -l.beta)
+					}
+					idx := base + c*plane + p
+					denom.Data()[idx] = d
+					dpow.Data()[idx] = pw
+					out.Data()[idx] = x.Data()[idx] * pw
+				}
+			}
+		}
+	})
+	l.lastInput = x
+	l.lastDenom = denom
+	l.lastPow = dpow
+	l.lastShape = x.Shape()
+	return out, nil
+}
+
+// Backward implements Layer.
+func (l *LRN) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastInput == nil {
+		return nil, fmt.Errorf("lrn %q: %w", l.name, ErrNoForward)
+	}
+	if gradOut.Len() != l.lastInput.Len() {
+		return nil, fmt.Errorf("lrn %q backward: %w", l.name, ErrShape)
+	}
+	n := l.lastShape[0]
+	channels, h, w := l.lastShape[1], l.lastShape[2], l.lastShape[3]
+	plane := h * w
+	gradIn := tensor.New(l.lastShape...)
+	a := l.lastInput.Data()
+	d := l.lastDenom.Data()
+	dp := l.lastPow.Data()
+	g := gradOut.Data()
+	gi := gradIn.Data()
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * channels * plane
+			for c := 0; c < channels; c++ {
+				wlo, whi := l.window(c, channels)
+				for p := 0; p < plane; p++ {
+					ci := base + c*plane + p
+					// Direct term, reusing the cached d^(−β).
+					sum := g[ci] * dp[ci]
+					// Cross terms: every output j whose window contains c.
+					// Window symmetry: c ∈ window(j) ⟺ j ∈ window(c) for a
+					// centered window clipped at the edges, so reuse it.
+					// d^(−β−1) = d^(−β)/d avoids a Pow per term.
+					cross := 0.0
+					for j := wlo; j <= whi; j++ {
+						ji := base + j*plane + p
+						cross += g[ji] * a[ji] * dp[ji] / d[ji]
+					}
+					sum -= 2 * l.alpha * l.beta * a[ci] * cross
+					gi[ci] = sum
+				}
+			}
+		}
+	})
+	return gradIn, nil
+}

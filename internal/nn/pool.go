@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PoolKind selects the pooling reduction.
+type PoolKind int
+
+// Supported pooling reductions.
+const (
+	MaxPool PoolKind = iota + 1
+	AvgPool
+)
+
+// String implements fmt.Stringer.
+func (k PoolKind) String() string {
+	switch k {
+	case MaxPool:
+		return "max"
+	case AvgPool:
+		return "avg"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", int(k))
+	}
+}
+
+// Pool2D is a 2-D spatial pooling layer (max or average) over [N,C,H,W]
+// inputs. Window size and stride may differ, matching the paper's
+// MaxPooling(3×3) stride-2 configurations.
+type Pool2D struct {
+	name   string
+	kind   PoolKind
+	geom   tensor.ConvGeom // OutC unused; channels pass through
+	argmax []int           // flat in-plane index of each max, for backward
+	lastN  int
+}
+
+var _ Layer = (*Pool2D)(nil)
+
+// Pool2DConfig configures NewPool2D.
+type Pool2DConfig struct {
+	Name     string
+	Kind     PoolKind
+	InC      int
+	InH, InW int
+	Window   int
+	Stride   int
+	Pad      int
+}
+
+// NewPool2D constructs a pooling layer.
+func NewPool2D(cfg Pool2DConfig) (*Pool2D, error) {
+	if cfg.Kind != MaxPool && cfg.Kind != AvgPool {
+		return nil, fmt.Errorf("pool2d %q: unknown kind %d", cfg.Name, cfg.Kind)
+	}
+	g := tensor.ConvGeom{
+		InC: cfg.InC, InH: cfg.InH, InW: cfg.InW,
+		KH: cfg.Window, KW: cfg.Window,
+		StrideH: cfg.Stride, StrideW: cfg.Stride,
+		PadH: cfg.Pad, PadW: cfg.Pad,
+		OutC: cfg.InC,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("pool2d %q: %w", cfg.Name, err)
+	}
+	return &Pool2D{name: cfg.Name, kind: cfg.Kind, geom: g}, nil
+}
+
+// Name implements Layer.
+func (p *Pool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *Pool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (p *Pool2D) OutShape(in []int) ([]int, error) {
+	want := []int{p.geom.InC, p.geom.InH, p.geom.InW}
+	if !shapeEq(in, want) {
+		return nil, fmt.Errorf("pool2d %q: %w: input %v, want %v", p.name, ErrShape, in, want)
+	}
+	return []int{p.geom.InC, p.geom.OutH(), p.geom.OutW()}, nil
+}
+
+// FLOPsPerSample implements Layer: one comparison/add per window element.
+func (p *Pool2D) FLOPsPerSample(in []int) int64 {
+	g := p.geom
+	return int64(g.InC) * int64(g.OutH()*g.OutW()) * int64(g.KH*g.KW)
+}
+
+// Forward implements Layer.
+func (p *Pool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, sample, err := batchOf(x)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.OutShape(sample); err != nil {
+		return nil, err
+	}
+	g := p.geom
+	outH, outW := g.OutH(), g.OutW()
+	planeIn := g.InH * g.InW
+	planeOut := outH * outW
+	out := tensor.New(n, g.InC, outH, outW)
+	if p.kind == MaxPool {
+		p.argmax = make([]int, n*g.InC*planeOut)
+	}
+	p.lastN = n
+	inv := 1.0 / float64(g.KH*g.KW)
+	tensor.ParallelFor(n*g.InC, func(lo, hi int) {
+		for pc := lo; pc < hi; pc++ {
+			in := x.Data()[pc*planeIn : (pc+1)*planeIn]
+			dst := out.Data()[pc*planeOut : (pc+1)*planeOut]
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					oi := oy*outW + ox
+					switch p.kind {
+					case MaxPool:
+						best, bestIdx := 0.0, -1
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.StrideH - g.PadH + ky
+							if iy < 0 || iy >= g.InH {
+								continue
+							}
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.StrideW - g.PadW + kx
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								v := in[iy*g.InW+ix]
+								if bestIdx < 0 || v > best {
+									best, bestIdx = v, iy*g.InW+ix
+								}
+							}
+						}
+						dst[oi] = best
+						p.argmax[pc*planeOut+oi] = bestIdx
+					case AvgPool:
+						s := 0.0
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.StrideH - g.PadH + ky
+							if iy < 0 || iy >= g.InH {
+								continue
+							}
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.StrideW - g.PadW + kx
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								s += in[iy*g.InW+ix]
+							}
+						}
+						dst[oi] = s * inv
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Backward implements Layer.
+func (p *Pool2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if p.lastN == 0 {
+		return nil, fmt.Errorf("pool2d %q: %w", p.name, ErrNoForward)
+	}
+	g := p.geom
+	n := p.lastN
+	outH, outW := g.OutH(), g.OutW()
+	planeIn := g.InH * g.InW
+	planeOut := outH * outW
+	if gradOut.Len() != n*g.InC*planeOut {
+		return nil, fmt.Errorf("pool2d %q backward: %w: grad %v", p.name, ErrShape, gradOut.Shape())
+	}
+	gradIn := tensor.New(n, g.InC, g.InH, g.InW)
+	inv := 1.0 / float64(g.KH*g.KW)
+	tensor.ParallelFor(n*g.InC, func(lo, hi int) {
+		for pc := lo; pc < hi; pc++ {
+			gin := gradIn.Data()[pc*planeIn : (pc+1)*planeIn]
+			gout := gradOut.Data()[pc*planeOut : (pc+1)*planeOut]
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					oi := oy*outW + ox
+					gv := gout[oi]
+					if gv == 0 {
+						continue
+					}
+					switch p.kind {
+					case MaxPool:
+						if idx := p.argmax[pc*planeOut+oi]; idx >= 0 {
+							gin[idx] += gv
+						}
+					case AvgPool:
+						for ky := 0; ky < g.KH; ky++ {
+							iy := oy*g.StrideH - g.PadH + ky
+							if iy < 0 || iy >= g.InH {
+								continue
+							}
+							for kx := 0; kx < g.KW; kx++ {
+								ix := ox*g.StrideW - g.PadW + kx
+								if ix < 0 || ix >= g.InW {
+									continue
+								}
+								gin[iy*g.InW+ix] += gv * inv
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return gradIn, nil
+}

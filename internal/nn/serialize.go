@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Parameter snapshot format: a little-endian binary stream
+//
+//	magic "DLBW" | version uint32 | count uint32 |
+//	per parameter: nameLen uint32 | name | dims uint32 | dims... | float64 data
+//
+// The format stores only parameter values (not optimizer state); loading
+// requires a structurally identical network, mirroring how the paper's
+// frameworks reload weights into a model defined in code/prototxt.
+const (
+	snapshotMagic   = "DLBW"
+	snapshotVersion = 1
+)
+
+// ErrSnapshot is returned (wrapped) for malformed or mismatched
+// parameter snapshots.
+var ErrSnapshot = errors.New("nn: invalid snapshot")
+
+// SaveParams writes all parameter values of net to w.
+func SaveParams(w io.Writer, net *Network) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("nn: save params: %w", err)
+	}
+	params := net.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(snapshotVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.Value.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams restores parameter values saved by SaveParams into net. The
+// network must have the same parameter names and shapes, in the same
+// order.
+func LoadParams(r io.Reader, net *Network) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("%w: missing magic: %v", ErrSnapshot, err)
+	}
+	if string(magic) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrSnapshot, magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("%w: version: %v", ErrSnapshot, err)
+	}
+	if version != snapshotVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSnapshot, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("%w: count: %v", ErrSnapshot, err)
+	}
+	params := net.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("%w: snapshot has %d parameters, network has %d", ErrSnapshot, count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("%w: name length: %v", ErrSnapshot, err)
+		}
+		if nameLen > 1<<16 {
+			return fmt.Errorf("%w: absurd name length %d", ErrSnapshot, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("%w: name: %v", ErrSnapshot, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("%w: parameter %q, expected %q", ErrSnapshot, name, p.Name)
+		}
+		var dims uint32
+		if err := binary.Read(br, binary.LittleEndian, &dims); err != nil {
+			return fmt.Errorf("%w: dims: %v", ErrSnapshot, err)
+		}
+		shape := make([]int, dims)
+		for i := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return fmt.Errorf("%w: dim %d: %v", ErrSnapshot, i, err)
+			}
+			shape[i] = int(d)
+		}
+		want := p.Value.Shape()
+		if len(shape) != len(want) {
+			return fmt.Errorf("%w: %s has %d dims, want %d", ErrSnapshot, p.Name, len(shape), len(want))
+		}
+		for i := range shape {
+			if shape[i] != want[i] {
+				return fmt.Errorf("%w: %s shape %v, want %v", ErrSnapshot, p.Name, shape, want)
+			}
+		}
+		data := p.Value.Data()
+		for i := range data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("%w: %s data: %v", ErrSnapshot, p.Name, err)
+			}
+			data[i] = math.Float64frombits(bits)
+		}
+	}
+	// Re-apply connection-table masks after loading.
+	for _, l := range net.Layers() {
+		if conv, ok := l.(*Conv2D); ok {
+			conv.ApplyMask()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func snapshotNet(t *testing.T, seed uint64) *Network {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := NewNetwork("snap", []int{1, 8, 8})
+	conv, err := NewConv2D(Conv2DConfig{Name: "conv1", InC: 1, InH: 8, InW: 8, OutC: 3, Kernel: 3, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewDense("fc", 3*6*6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(conv, NewFlatten("flat"), fc); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitNetwork(net, InitConfig{Scheme: InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := snapshotNet(t, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := snapshotNet(t, 2) // different weights
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].Value.Data() {
+			if sp[i].Value.Data()[j] != dp[i].Value.Data()[j] {
+				t.Fatalf("param %s[%d] not restored", sp[i].Name, j)
+			}
+		}
+	}
+	// Identical predictions after restore.
+	rng := tensor.NewRNG(3)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	a, err := src.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dst.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("restored network predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	src := snapshotNet(t, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	tests := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func([]byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"bad version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dst := snapshotNet(t, 2)
+			if err := LoadParams(bytes.NewReader(tt.mangle(good)), dst); !errors.Is(err, ErrSnapshot) {
+				t.Fatalf("err = %v, want ErrSnapshot", err)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsStructureMismatch(t *testing.T) {
+	src := snapshotNet(t, 1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally different network (different fc width).
+	rng := tensor.NewRNG(5)
+	other := NewNetwork("other", []int{1, 8, 8})
+	conv, err := NewConv2D(Conv2DConfig{Name: "conv1", InC: 1, InH: 8, InW: 8, OutC: 3, Kernel: 3, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewDense("fc", 3*6*6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Add(conv, NewFlatten("flat"), fc); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitNetwork(other, InitConfig{Scheme: InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, other); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("shape mismatch err = %v, want ErrSnapshot", err)
+	}
+}
+
+func TestLoadReappliesConnTableMask(t *testing.T) {
+	table := [][]bool{{true, false}, {false, true}}
+	build := func(seed uint64) *Network {
+		rng := tensor.NewRNG(seed)
+		net := NewNetwork("masked", []int{2, 6, 6})
+		conv, err := NewConv2D(Conv2DConfig{Name: "mc", InC: 2, InH: 6, InW: 6, OutC: 2, Kernel: 3, Stride: 1, ConnTable: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := NewDense("fc", 2*4*4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Add(conv, NewFlatten("f"), fc); err != nil {
+			t.Fatal(err)
+		}
+		if err := InitNetwork(net, InitConfig{Scheme: InitXavier}, rng); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	src := build(1)
+	// Poison the masked weight positions in the snapshot source's raw
+	// data, then save; loading must re-zero them via the mask.
+	src.Params()[0].Value.Data()[9] = 123 // (oc0, ic1) block start — masked
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := build(2)
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.Params()[0].Value.Data()[9]; got != 0 {
+		t.Fatalf("masked weight survived load: %v", got)
+	}
+}

@@ -1,0 +1,153 @@
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NesterovSGD is SGD with Nesterov accelerated momentum — the variant
+// Torch's optim.sgd enables with `nesterov = true`. The update follows
+// the common deep-learning formulation:
+//
+//	v ← μ·v + g
+//	w ← w − lr·(g + μ·v)
+type NesterovSGD struct {
+	cfg      SGDConfig
+	params   []*nn.Param
+	velocity []*tensor.Tensor
+	it       int
+}
+
+var _ Optimizer = (*NesterovSGD)(nil)
+
+// NewNesterovSGD constructs a Nesterov-momentum SGD optimizer. Momentum
+// must be positive — with zero momentum Nesterov degenerates to plain
+// SGD, and callers should use NewSGD instead.
+func NewNesterovSGD(params []*nn.Param, cfg SGDConfig) (*NesterovSGD, error) {
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("%w: Nesterov SGD needs a schedule", ErrConfig)
+	}
+	if cfg.Momentum <= 0 || cfg.Momentum >= 1 {
+		return nil, fmt.Errorf("%w: Nesterov momentum %v out of (0,1)", ErrConfig, cfg.Momentum)
+	}
+	if cfg.WeightDecay < 0 {
+		return nil, fmt.Errorf("%w: negative weight decay", ErrConfig)
+	}
+	s := &NesterovSGD{cfg: cfg, params: params}
+	s.velocity = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		s.velocity[i] = tensor.New(p.Value.Shape()...)
+	}
+	return s, nil
+}
+
+// Name implements Optimizer.
+func (s *NesterovSGD) Name() string { return "nesterov-sgd" }
+
+// LearningRate implements Optimizer.
+func (s *NesterovSGD) LearningRate() float64 { return s.cfg.Schedule.At(s.it) }
+
+// Step implements Optimizer.
+func (s *NesterovSGD) Step() error {
+	lr := s.cfg.Schedule.At(s.it)
+	s.it++
+	clip := clipScale(s.params, s.cfg.ClipNorm)
+	mu := s.cfg.Momentum
+	for i, p := range s.params {
+		g := p.Grad.Data()
+		v := s.velocity[i].Data()
+		w := p.Value.Data()
+		for j := range g {
+			gj := g[j] * clip
+			if s.cfg.WeightDecay > 0 && p.Decay {
+				gj += s.cfg.WeightDecay * w[j]
+			}
+			v[j] = mu*v[j] + gj
+			w[j] -= lr * (gj + mu*v[j])
+		}
+		p.ZeroGrad()
+	}
+	return nil
+}
+
+// RMSPropConfig configures NewRMSProp. Zero values select Torch's
+// optim.rmsprop defaults (α=0.99, ε=1e-8).
+type RMSPropConfig struct {
+	Schedule Schedule
+	// Alpha is the squared-gradient moving-average coefficient.
+	Alpha float64
+	// Epsilon stabilizes the division.
+	Epsilon float64
+	// WeightDecay is applied to Decay-marked parameters.
+	WeightDecay float64
+}
+
+// RMSProp implements the RMSProp optimizer (Tieleman & Hinton), provided
+// by Torch's optim library:
+//
+//	s ← α·s + (1−α)·g²
+//	w ← w − lr·g/(√s + ε)
+type RMSProp struct {
+	cfg    RMSPropConfig
+	params []*nn.Param
+	sq     []*tensor.Tensor
+	it     int
+}
+
+var _ Optimizer = (*RMSProp)(nil)
+
+// NewRMSProp constructs an RMSProp optimizer over params.
+func NewRMSProp(params []*nn.Param, cfg RMSPropConfig) (*RMSProp, error) {
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("%w: RMSProp needs a schedule", ErrConfig)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.99
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-8
+	}
+	if cfg.Alpha < 0 || cfg.Alpha >= 1 {
+		return nil, fmt.Errorf("%w: RMSProp alpha %v out of [0,1)", ErrConfig, cfg.Alpha)
+	}
+	if cfg.WeightDecay < 0 {
+		return nil, fmt.Errorf("%w: negative weight decay", ErrConfig)
+	}
+	r := &RMSProp{cfg: cfg, params: params}
+	r.sq = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		r.sq[i] = tensor.New(p.Value.Shape()...)
+	}
+	return r, nil
+}
+
+// Name implements Optimizer.
+func (r *RMSProp) Name() string { return "rmsprop" }
+
+// LearningRate implements Optimizer.
+func (r *RMSProp) LearningRate() float64 { return r.cfg.Schedule.At(r.it) }
+
+// Step implements Optimizer.
+func (r *RMSProp) Step() error {
+	lr := r.cfg.Schedule.At(r.it)
+	r.it++
+	alpha := r.cfg.Alpha
+	for i, p := range r.params {
+		g := p.Grad.Data()
+		s := r.sq[i].Data()
+		w := p.Value.Data()
+		for j := range g {
+			gj := g[j]
+			if r.cfg.WeightDecay > 0 && p.Decay {
+				gj += r.cfg.WeightDecay * w[j]
+			}
+			s[j] = alpha*s[j] + (1-alpha)*gj*gj
+			w[j] -= lr * gj / (math.Sqrt(s[j]) + r.cfg.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package optim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestNesterovConvergesOnQuadratic(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	p, target := quadParam(8, rng)
+	opt, err := NewNesterovSGD([]*nn.Param{p}, SGDConfig{Schedule: ConstantSchedule(0.02), Momentum: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		quadGrad(p, target)
+		if err := opt.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l := quadLoss(p, target); l > 1e-6 {
+		t.Fatalf("Nesterov final loss %v", l)
+	}
+	if opt.Name() != "nesterov-sgd" || opt.LearningRate() != 0.02 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestNesterovBeatsClassicalMomentumOnIllConditioned(t *testing.T) {
+	// f(w) = ½(w₀² + 50·w₁²): Nesterov's lookahead damps the oscillation
+	// along the stiff axis.
+	run := func(nesterov bool) float64 {
+		p := &nn.Param{Name: "w", Value: tensor.MustFrom([]float64{5, 5}, 2), Grad: tensor.New(2), Decay: true}
+		cfg := SGDConfig{Schedule: ConstantSchedule(0.018), Momentum: 0.9}
+		var opt Optimizer
+		var err error
+		if nesterov {
+			opt, err = NewNesterovSGD([]*nn.Param{p}, cfg)
+		} else {
+			opt, err = NewSGD([]*nn.Param{p}, cfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			p.Grad.Data()[0] = p.Value.Data()[0]
+			p.Grad.Data()[1] = 50 * p.Value.Data()[1]
+			if err := opt.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return 0.5*p.Value.Data()[0]*p.Value.Data()[0] + 25*p.Value.Data()[1]*p.Value.Data()[1]
+	}
+	if n, c := run(true), run(false); n >= c {
+		t.Fatalf("Nesterov %v not better than classical %v on stiff quadratic", n, c)
+	}
+}
+
+func TestRMSPropConvergesOnQuadratic(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	p, target := quadParam(8, rng)
+	opt, err := NewRMSProp([]*nn.Param{p}, RMSPropConfig{Schedule: ConstantSchedule(0.05)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		quadGrad(p, target)
+		if err := opt.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l := quadLoss(p, target); l > 1e-4 {
+		t.Fatalf("RMSProp final loss %v", l)
+	}
+	if opt.Name() != "rmsprop" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestRMSPropWeightDecay(t *testing.T) {
+	p := &nn.Param{Name: "w", Value: tensor.New(2), Grad: tensor.New(2), Decay: true}
+	p.Value.Fill(1)
+	opt, err := NewRMSProp([]*nn.Param{p}, RMSPropConfig{Schedule: ConstantSchedule(0.01), WeightDecay: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := opt.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range p.Value.Data() {
+		if v >= 1 {
+			t.Fatalf("weight decay had no effect: %v", v)
+		}
+	}
+}
+
+func TestExtraOptimizerValidation(t *testing.T) {
+	p := &nn.Param{Name: "w", Value: tensor.New(1), Grad: tensor.New(1)}
+	tests := []struct {
+		name string
+		make func() error
+	}{
+		{"nesterov nil schedule", func() error {
+			_, err := NewNesterovSGD([]*nn.Param{p}, SGDConfig{Momentum: 0.9})
+			return err
+		}},
+		{"nesterov zero momentum", func() error {
+			_, err := NewNesterovSGD([]*nn.Param{p}, SGDConfig{Schedule: ConstantSchedule(0.1)})
+			return err
+		}},
+		{"rmsprop nil schedule", func() error { _, err := NewRMSProp([]*nn.Param{p}, RMSPropConfig{}); return err }},
+		{"rmsprop bad alpha", func() error {
+			_, err := NewRMSProp([]*nn.Param{p}, RMSPropConfig{Schedule: ConstantSchedule(0.1), Alpha: 1.5})
+			return err
+		}},
+		{"rmsprop negative decay", func() error {
+			_, err := NewRMSProp([]*nn.Param{p}, RMSPropConfig{Schedule: ConstantSchedule(0.1), WeightDecay: -1})
+			return err
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.make(); !errors.Is(err, ErrConfig) {
+				t.Fatalf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+package tensor
+
+// ParallelFor splits [0, n) into contiguous chunks and executes body on
+// each chunk, fanning out to goroutines when n is large enough to amortize
+// dispatch. body must be safe to run concurrently on disjoint ranges.
+func ParallelFor(n int, body func(lo, hi int)) {
+	parallelRows(n, body)
+}

@@ -1,0 +1,99 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (SplitMix64). Every stochastic component of the benchmark suite —
+// weight initialization, data synthesis, shuffling, dropout — draws from
+// an explicitly seeded RNG so experiments regenerate identically.
+//
+// The zero value is a valid generator seeded with 0; prefer NewRNG.
+type RNG struct {
+	state uint64
+	// spare caches the second Box-Muller normal deviate.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate using the Box-Muller
+// transform.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new generator whose stream is decorrelated from r. It is
+// used to give each substream (e.g. per-class data synthesis) its own
+// deterministic sequence.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xdeadbeefcafef00d)
+}
+
+// FillUniform fills t with uniform deviates in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*r.Float64()
+	}
+}
+
+// FillNormal fills t with normal deviates of the given mean and standard
+// deviation.
+func (r *RNG) FillNormal(t *Tensor, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = mean + std*r.NormFloat64()
+	}
+}
