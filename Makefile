@@ -1,0 +1,36 @@
+# Tier-1 gate for this repository. `make check` is what CI (and every PR)
+# must keep green: static checks, a full build, the race-enabled test
+# suite, and the observability overhead guard that proves the disabled
+# tracer costs <2% of a training iteration.
+
+GO ?= go
+
+.PHONY: check vet build test obs-overhead bench trace-demo clean
+
+check: vet build test obs-overhead
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# The acceptance guard from internal/obs: the nil-tracer fast path must
+# stay under 2% of a training iteration, and the disabled-primitive
+# benchmarks document the per-op cost.
+obs-overhead:
+	$(GO) test ./internal/obs/ -count=1 -run TestDisabledTracerOverheadUnderTwoPercent -v
+	$(GO) test ./internal/obs/ -count=1 -run '^$$' -bench 'BenchmarkDisabled' -benchtime=100ms
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Produce a small Chrome trace to eyeball in chrome://tracing.
+trace-demo:
+	$(GO) run ./cmd/dlbench -scale test -quiet -trace trace.json -telemetry fig1
+
+clean:
+	rm -f trace.json

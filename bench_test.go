@@ -213,9 +213,9 @@ func BenchmarkExecutorOverhead(b *testing.B) {
 		name string
 		make func(net *nn.Network) (engine.Executor, error)
 	}{
-		{"graph", func(n *nn.Network) (engine.Executor, error) { return engine.NewGraph(n) }},
-		{"layerwise", func(n *nn.Network) (engine.Executor, error) { return engine.NewLayerwise(n, 16) }},
-		{"module", func(n *nn.Network) (engine.Executor, error) { return engine.NewModule(n) }},
+		{"graph", func(n *nn.Network) (engine.Executor, error) { return engine.NewGraph(n, nil) }},
+		{"layerwise", func(n *nn.Network) (engine.Executor, error) { return engine.NewLayerwise(n, 16, nil) }},
+		{"module", func(n *nn.Network) (engine.Executor, error) { return engine.NewModule(n, nil) }},
 	} {
 		b.Run(style.name, func(b *testing.B) {
 			exec, err := style.make(build())

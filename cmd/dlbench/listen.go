@@ -1,0 +1,9 @@
+package main
+
+import "net"
+
+// newListener binds a TCP listener for the pprof endpoint. Split out so
+// tests can bind port 0 and learn the chosen address.
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

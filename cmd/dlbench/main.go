@@ -5,16 +5,27 @@
 //
 // Usage:
 //
-//	dlbench [-scale test|small|full] [-seed N] [-quiet] <experiment>...
+//	dlbench [-scale test|small|full] [-seed N] [-quiet]
+//	        [-json FILE] [-csv FILE] [-losscsv FILE]
+//	        [-trace FILE] [-telemetry] [-pprof ADDR] <experiment>...
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 table6 table7 table8 table9, or "all".
+//
+// Observability: -trace records every execution span (suite, executor,
+// data phases) and writes a Chrome trace_event JSON loadable in
+// chrome://tracing or Perfetto; -telemetry prints per-phase duration,
+// counter and gauge tables after the reports; -pprof serves
+// net/http/pprof on the given address for live profiling. All three are
+// off by default, and the instrumented hot paths are no-ops when off.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -22,6 +33,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/framework"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,13 +43,32 @@ func main() {
 	}
 }
 
+// progressSink is the single funnel for all non-result output (per-run
+// progress, status notes). -quiet silences the whole sink, so nothing
+// reaches stderr except errors; experiment reports still go to stdout.
+type progressSink struct {
+	w     io.Writer
+	quiet bool
+}
+
+func (p *progressSink) printf(format string, args ...any) {
+	if p.quiet {
+		return
+	}
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("dlbench", flag.ContinueOnError)
 	scaleName := fs.String("scale", "small", "experiment scale: test, small or full")
 	seed := fs.Uint64("seed", 42, "master seed; every result is deterministic in it")
-	quiet := fs.Bool("quiet", false, "suppress per-run progress output")
+	quiet := fs.Bool("quiet", false, "suppress all progress/status output on stderr")
 	jsonPath := fs.String("json", "", "also write all run results as JSON to this file")
 	csvPath := fs.String("csv", "", "also write all run results as CSV to this file")
+	lossCSVPath := fs.String("losscsv", "", "also write per-iteration loss histories as CSV to this file")
+	tracePath := fs.String("trace", "", "record execution spans and write a Chrome trace_event JSON to this file")
+	telemetry := fs.Bool("telemetry", false, "print runtime telemetry tables (durations, counters, gauges) after the reports")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,11 +84,35 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !*quiet {
-		suite.Progress = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
-		}
+	sink := &progressSink{w: os.Stderr, quiet: *quiet}
+	suite.Progress = sink.printf
+
+	// The tracer exists only when some consumer asked for it; otherwise
+	// every instrumented path stays on the documented no-op branch.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *telemetry {
+		tracer = obs.New()
+		suite.Obs = tracer
 	}
+	// Open the trace file before training so an unwritable path fails in
+	// milliseconds, not after a multi-minute sweep.
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *tracePath, err)
+		}
+		traceFile = f
+		defer traceFile.Close()
+	}
+	if *pprofAddr != "" {
+		ln, err := startPprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		sink.printf("pprof listening on http://%s/debug/pprof/", ln)
+	}
+
 	if len(targets) == 1 && targets[0] == "all" {
 		targets = knownExperiments()
 	}
@@ -74,13 +129,48 @@ func run(args []string) error {
 		if err := writeResults(*jsonPath, collected, metrics.WriteJSON); err != nil {
 			return err
 		}
+		sink.printf("wrote %d run results to %s", len(collected), *jsonPath)
 	}
 	if *csvPath != "" {
 		if err := writeResults(*csvPath, collected, metrics.WriteCSV); err != nil {
 			return err
 		}
+		sink.printf("wrote %d run results to %s", len(collected), *csvPath)
+	}
+	if *lossCSVPath != "" {
+		if err := writeResults(*lossCSVPath, collected, metrics.WriteLossCSV); err != nil {
+			return err
+		}
+		sink.printf("wrote loss histories to %s", *lossCSVPath)
+	}
+	if *telemetry {
+		if report := metrics.TelemetryReport(tracer.Snapshot()); report != "" {
+			fmt.Println(report)
+		}
+	}
+	if traceFile != nil {
+		if err := writeTrace(traceFile, tracer); err != nil {
+			return err
+		}
+		sink.printf("wrote %d spans to %s (open in chrome://tracing or https://ui.perfetto.dev)",
+			tracer.SpanCount(), *tracePath)
+		if n := tracer.Dropped(); n > 0 {
+			sink.printf("warning: %d spans dropped after the %d-span buffer filled", n, tracer.SpanCount())
+		}
 	}
 	return nil
+}
+
+// startPprof serves net/http/pprof on addr in the background, returning
+// the bound address.
+func startPprof(addr string) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	ln, err := newListener(addr)
+	if err != nil {
+		return "", fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
 }
 
 // writeResults writes collected run rows with the given encoder.
@@ -91,6 +181,15 @@ func writeResults(path string, rows []metrics.RunResult, write func(io.Writer, [
 	}
 	if err := write(f, rows); err != nil {
 		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the Chrome trace_event export to the already-open
+// trace file (created up front so bad paths fail before training).
+func writeTrace(f *os.File, tr *obs.Tracer) error {
+	if err := obs.WriteChromeTrace(f, tr); err != nil {
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceFlagWritesValidChromeTrace is the end-to-end acceptance check:
+// `dlbench -scale test -trace out.json fig1` must produce a file that
+// parses as Chrome trace_event JSON with the expected span population.
+// The same run exercises -losscsv (checked in TestLossCSVFlag's helper).
+func TestTraceFlagWritesValidChromeTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains fig1 at test scale")
+	}
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.json")
+	loss := filepath.Join(dir, "loss.csv")
+	if err := run([]string{"-scale", "test", "-quiet", "-trace", trace, "-losscsv", loss, "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	checkLossCSV(t, loss)
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid trace_event JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace contains no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 || ev.TS < 0 {
+			t.Fatalf("event %q has negative time: ts=%v dur=%v", ev.Name, ev.TS, ev.Dur)
+		}
+		seen[ev.Name] = true
+	}
+	// A fig1 run must contain suite phases, executor phases from every
+	// style, and dataset generation.
+	for _, want := range []string{
+		"suite.run", "suite.train", "suite.epoch", "suite.iter", "suite.update", "suite.eval",
+		"graph.build", "graph.forward", "graph.backward",
+		"layerwise.forward", "layerwise.backward",
+		"module.forward", "module.backward",
+		"data.generate.synth-mnist-train",
+	} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+}
+
+// TestQuietSinkSilencesEverything: with -quiet every progress and status
+// line is routed into the one sink and dropped there.
+func TestQuietSinkSilencesEverything(t *testing.T) {
+	var buf bytes.Buffer
+	s := &progressSink{w: &buf, quiet: true}
+	s.printf("should not appear %d", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("quiet sink wrote %q", buf.String())
+	}
+	s.quiet = false
+	s.printf("visible %s", "line")
+	if got := buf.String(); got != "visible line\n" {
+		t.Fatalf("sink wrote %q", got)
+	}
+}
+
+// checkLossCSV asserts the -losscsv output holds per-iteration loss rows.
+func checkLossCSV(t *testing.T, loss string) {
+	t.Helper()
+	raw, err := os.ReadFile(loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("loss csv has %d lines, want header plus rows", len(lines))
+	}
+	if lines[0] != "framework,settings,dataset,device,iteration,loss" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/framework"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -61,6 +62,7 @@ func (s *Suite) assemble(spec RunSpec, tm *trainedModel) (metrics.RunResult, err
 		Converged:   tm.converged,
 		LossHistory: tm.lossHistory,
 		Epochs:      tm.epochs,
+		Telemetry:   tm.telemetry,
 	}, nil
 }
 
@@ -92,6 +94,11 @@ func (s *Suite) model(spec RunSpec) (*trainedModel, error) {
 
 // train performs the actual scaled training run.
 func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
+	// Everything the run records between these two snapshots becomes the
+	// run's telemetry delta on its RunResult.
+	telemetryBefore := s.Obs.Snapshot()
+	runSpan := s.Obs.Span("suite.run", "suite")
+	defer runSpan.End()
 	defaults, err := framework.Defaults(spec.SettingsFW, spec.SettingsDS)
 	if err != nil {
 		return nil, err
@@ -113,7 +120,7 @@ func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
 	if err := nn.InitNetwork(net, defaults.Init, rng.Split()); err != nil {
 		return nil, err
 	}
-	exec, err := framework.NewExecutor(spec.Framework, net, defaults.BatchSize)
+	exec, err := framework.NewTracedExecutor(spec.Framework, net, defaults.BatchSize, s.Obs)
 	if err != nil {
 		return nil, err
 	}
@@ -170,34 +177,58 @@ func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
 	}
 	s.progress("train %-14s on %-8s under %-10s (%s, %d epochs, %d iters)",
 		spec.settingsLabel(), spec.Data, spec.Framework, spec.Device, epochs, totalIters)
+	batches.SetObs(s.Obs)
+	lossGauge := s.Obs.Gauge("suite.loss")
+	iterCount := s.Obs.Counter("suite.iterations")
 
+	trainSpan := s.Obs.Span("suite.train", "suite")
 	start := time.Now()
 	var lastLoss float64
+	epochSpan := s.Obs.Span("suite.epoch", "suite")
 	for it := 0; it < totalIters; it++ {
+		if it > 0 && it%itersPerEpoch == 0 {
+			epochSpan.End()
+			epochSpan = s.Obs.Span("suite.epoch", "suite")
+		}
+		iterSpan := s.Obs.Span("suite.iter", "suite")
 		x, labels, err := batches.Next()
 		if err != nil {
+			iterSpan.End()
+			epochSpan.End()
+			trainSpan.End()
 			return nil, err
 		}
-		framework.ApplyPreprocessing(prep, x)
+		framework.ApplyPreprocessingObs(prep, x, s.Obs)
 		res, err := exec.TrainBatch(x, labels)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			update := s.Obs.Span("suite.update", "suite")
+			err = opt.Step()
+			update.End()
 		}
-		if err := opt.Step(); err != nil {
+		iterSpan.End()
+		if err != nil {
+			epochSpan.End()
+			trainSpan.End()
 			return nil, err
 		}
 		lastLoss = res.Loss
+		lossGauge.Set(res.Loss)
+		iterCount.Inc()
 		if it%lossEvery == 0 || it == totalIters-1 {
 			tm.lossHistory = append(tm.lossHistory, metrics.LossPoint{Iteration: it, Loss: res.Loss})
 		}
 	}
+	epochSpan.End()
+	trainSpan.End()
 	tm.trainWall = time.Since(start).Seconds()
 	tm.finalLoss = lastLoss
 
 	// Evaluate.
+	evalSpan := s.Obs.Span("suite.eval", "suite")
 	evalStart := time.Now()
 	conf, err := metrics.NewConfusion(testSet.Classes)
 	if err != nil {
+		evalSpan.End()
 		return nil, err
 	}
 	for lo := 0; lo < testSet.Len(); lo += evalBatchSize {
@@ -211,22 +242,27 @@ func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
 		}
 		x, labels, err := testSet.Slice(idx)
 		if err != nil {
+			evalSpan.End()
 			return nil, err
 		}
-		framework.ApplyPreprocessing(prep, x)
+		framework.ApplyPreprocessingObs(prep, x, s.Obs)
 		preds, err := exec.Predict(x)
 		if err != nil {
+			evalSpan.End()
 			return nil, err
 		}
 		for i, p := range preds {
 			if err := conf.Add(labels[i], p); err != nil {
+				evalSpan.End()
 				return nil, err
 			}
 		}
 	}
+	evalSpan.End()
 	tm.testWall = time.Since(evalStart).Seconds()
 	tm.testConfusion = conf
 	tm.accuracyPct = conf.Accuracy()
+	s.Obs.Gauge("suite.accuracy_pct").Set(tm.accuracyPct)
 	// The model goes dormant in the suite cache; drop its large per-batch
 	// buffers (they are rebuilt transparently if the model is reused for
 	// adversarial attacks).
@@ -242,5 +278,6 @@ func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
 		tm.accuracyPct >= 2.5*chance
 	s.progress("  -> accuracy %.2f%% loss %.4f converged=%v wall %.1fs",
 		tm.accuracyPct, tm.finalLoss, tm.converged, tm.trainWall)
+	tm.telemetry = obs.Delta(telemetryBefore, s.Obs.Snapshot())
 	return tm, nil
 }

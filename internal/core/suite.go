@@ -26,6 +26,7 @@ import (
 	"repro/internal/framework"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // RunSpec identifies one cell of the configuration matrix.
@@ -65,6 +66,13 @@ type Suite struct {
 	// Progress, when non-nil, receives one line per completed training
 	// run (for CLI feedback during long sweeps).
 	Progress func(format string, args ...any)
+
+	// Obs, when non-nil, receives execution spans (per run, epoch,
+	// iteration and phase), dispatch counters and loss/accuracy gauges
+	// from every training computation, and per-run telemetry deltas are
+	// attached to each RunResult. Nil (the default) disables the entire
+	// instrumentation layer at negligible cost.
+	Obs *obs.Tracer
 }
 
 // modelKey identifies a unique training computation. Device enters the key
@@ -94,6 +102,7 @@ type trainedModel struct {
 	trainDisp     int
 	inferDisp     int
 	testConfusion *metrics.Confusion
+	telemetry     *obs.Snapshot
 }
 
 // NewSuite constructs a suite at the given scale.
@@ -126,7 +135,7 @@ func (s *Suite) Datasets(ds framework.DatasetID) (train, test *data.Dataset, err
 	if pair, ok := s.datasets[ds]; ok {
 		return pair[0], pair[1], nil
 	}
-	cfg := data.SynthConfig{Train: s.scale.Train, Test: s.scale.Test, Seed: s.seed}
+	cfg := data.SynthConfig{Train: s.scale.Train, Test: s.scale.Test, Seed: s.seed, Obs: s.Obs}
 	switch ds {
 	case framework.MNIST:
 		cfg.Difficulty = s.scale.MNISTDifficulty

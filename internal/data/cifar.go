@@ -201,6 +201,8 @@ func SynthCIFAR10(cfg SynthConfig) (train, test *Dataset, err error) {
 		return nil, nil, fmt.Errorf("data: SynthCIFAR10: %w", err)
 	}
 	gen := func(name string, n int, rng *tensor.RNG) *Dataset {
+		sp := cfg.Obs.Span("data.generate."+name, "data")
+		defer sp.End()
 		ds := &Dataset{
 			Name:        name,
 			Classes:     CIFARClasses,

@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -101,6 +103,10 @@ type Batches struct {
 	order []int
 	pos   int
 	epoch int
+
+	obs      *obs.Tracer
+	loadHist *obs.Histogram
+	loads    *obs.Counter
 }
 
 // NewBatches constructs a batch iterator of the given size.
@@ -131,9 +137,27 @@ func (b *Batches) reset() {
 // Epoch returns the number of completed passes over the dataset.
 func (b *Batches) Epoch() int { return b.epoch }
 
+// SetObs attaches a tracer: every Next records a "data.load" duration and
+// increments the "data.load.batches" counter. A nil tracer (the default)
+// disables instrumentation.
+func (b *Batches) SetObs(tr *obs.Tracer) {
+	b.obs = tr
+	b.loadHist = tr.Histogram("data.load")
+	b.loads = tr.Counter("data.load.batches")
+}
+
 // Next returns the next mini-batch, wrapping to a new epoch when the
 // dataset is exhausted. The final batch of an epoch may be short.
+//
+// Batch assembly is timed into the "data.load" histogram rather than a
+// per-batch span: at full scale the loader runs hundreds of thousands of
+// times, which would dominate the span buffer while each individual copy
+// is microseconds.
 func (b *Batches) Next() (*tensor.Tensor, []int, error) {
+	var start time.Time
+	if b.obs != nil {
+		start = time.Now()
+	}
 	if b.pos >= len(b.order) {
 		b.epoch++
 		b.reset()
@@ -144,7 +168,12 @@ func (b *Batches) Next() (*tensor.Tensor, []int, error) {
 	}
 	idx := b.order[b.pos:end]
 	b.pos = end
-	return b.ds.Slice(idx)
+	x, labels, err := b.ds.Slice(idx)
+	if b.obs != nil {
+		b.loadHist.Observe(time.Since(start))
+		b.loads.Inc()
+	}
+	return x, labels, err
 }
 
 // PixelEntropy estimates the mean per-pixel Shannon entropy of the dataset

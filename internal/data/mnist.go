@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -25,6 +26,9 @@ type SynthConfig struct {
 	// increasing class confusability. Zero selects the calibrated
 	// default (0.5).
 	Difficulty float64
+	// Obs, when non-nil, receives per-split generation spans ("data"
+	// category). Nil disables instrumentation.
+	Obs *obs.Tracer
 }
 
 func (c SynthConfig) normalized() (SynthConfig, error) {
@@ -210,6 +214,8 @@ func SynthMNIST(cfg SynthConfig) (train, test *Dataset, err error) {
 		return nil, nil, fmt.Errorf("data: SynthMNIST: %w", err)
 	}
 	gen := func(name string, n int, rng *tensor.RNG) *Dataset {
+		sp := cfg.Obs.Span("data.generate."+name, "data")
+		defer sp.End()
 		ds := &Dataset{
 			Name:        name,
 			Classes:     MNISTClasses,

@@ -2,9 +2,25 @@ package data
 
 import (
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// StandardizeBatchObs is StandardizeBatch timed into tr's
+// "data.standardize" histogram (and "data.standardize.batches" counter).
+// A nil tracer reduces to the plain call.
+func StandardizeBatchObs(x *tensor.Tensor, tr *obs.Tracer) {
+	if tr == nil {
+		StandardizeBatch(x)
+		return
+	}
+	start := time.Now()
+	StandardizeBatch(x)
+	tr.Histogram("data.standardize").Observe(time.Since(start))
+	tr.Counter("data.standardize.batches").Inc()
+}
 
 // StandardizeBatch applies per-image standardization in place to a
 // batch-major [N, ...] tensor: each sample becomes (x − mean)/adjStd with

@@ -34,6 +34,23 @@ import (
 // network.
 var ErrNilNetwork = errors.New("engine: nil network")
 
+// CatEngine is the obs span category used by all executor spans.
+const CatEngine = "engine"
+
+// CounterTrainDispatch returns the obs counter name under which the named
+// executor style counts per-iteration training dispatches. After exactly
+// one TrainBatch the counter equals Stats().TrainDispatches — the tracer
+// observes the same mechanical dispatches the device cost model charges.
+func CounterTrainDispatch(style string) string {
+	return "engine." + style + ".dispatch.train"
+}
+
+// CounterInferDispatch is the inference-batch analogue of
+// CounterTrainDispatch: one Logits call adds Stats().InferDispatches.
+func CounterInferDispatch(style string) string {
+	return "engine." + style + ".dispatch.infer"
+}
+
 // Stats describes the mechanical cost profile of an executor on its
 // network; the device cost model turns these counts into seconds.
 type Stats struct {

@@ -50,15 +50,15 @@ func TestExecutorEquivalenceProperty(t *testing.T) {
 		if n1 == nil || n2 == nil || n3 == nil {
 			return false
 		}
-		g, err := NewGraph(n1)
+		g, err := NewGraph(n1, nil)
 		if err != nil {
 			return false
 		}
-		lw, err := NewLayerwise(n2, 4)
+		lw, err := NewLayerwise(n2, 4, nil)
 		if err != nil {
 			return false
 		}
-		mod, err := NewModule(n3)
+		mod, err := NewModule(n3, nil)
 		if err != nil {
 			return false
 		}

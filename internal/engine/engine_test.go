@@ -40,15 +40,15 @@ func buildNet(t *testing.T, seed uint64) *nn.Network {
 
 func executors(t *testing.T, seed uint64) map[string]Executor {
 	t.Helper()
-	g, err := NewGraph(buildNet(t, seed))
+	g, err := NewGraph(buildNet(t, seed), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lw, err := NewLayerwise(buildNet(t, seed), 4)
+	lw, err := NewLayerwise(buildNet(t, seed), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewModule(buildNet(t, seed))
+	m, err := NewModule(buildNet(t, seed), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestExecutorsPredictShape(t *testing.T) {
 }
 
 func TestGraphFusionDetected(t *testing.T) {
-	g, err := NewGraph(buildNet(t, 1))
+	g, err := NewGraph(buildNet(t, 1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +177,14 @@ func TestDispatchOrdering(t *testing.T) {
 }
 
 func TestLayerwiseBlobBytes(t *testing.T) {
-	lw, err := NewLayerwise(buildNet(t, 2), 8)
+	lw, err := NewLayerwise(buildNet(t, 2), 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lw.Stats().BlobBytes <= 0 {
 		t.Fatal("blob bytes must be positive")
 	}
-	lw2, err := NewLayerwise(buildNet(t, 2), 16)
+	lw2, err := NewLayerwise(buildNet(t, 2), 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestLayerwiseBlobBytes(t *testing.T) {
 
 func TestLayerwiseEnablesLossClamp(t *testing.T) {
 	net := buildNet(t, 6)
-	if _, err := NewLayerwise(net, 4); err != nil {
+	if _, err := NewLayerwise(net, 4, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Feed absurd logits through the loss: must clamp at CaffeLossClamp.
@@ -210,7 +210,7 @@ func TestLayerwiseEnablesLossClamp(t *testing.T) {
 }
 
 func TestModuleTreeStructure(t *testing.T) {
-	m, err := NewModule(buildNet(t, 4))
+	m, err := NewModule(buildNet(t, 4), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,13 +221,13 @@ func TestModuleTreeStructure(t *testing.T) {
 }
 
 func TestNilNetworkRejected(t *testing.T) {
-	if _, err := NewGraph(nil); err != ErrNilNetwork {
+	if _, err := NewGraph(nil, nil); err != ErrNilNetwork {
 		t.Fatalf("graph: %v", err)
 	}
-	if _, err := NewLayerwise(nil, 1); err != ErrNilNetwork {
+	if _, err := NewLayerwise(nil, 1, nil); err != ErrNilNetwork {
 		t.Fatalf("layerwise: %v", err)
 	}
-	if _, err := NewModule(nil); err != ErrNilNetwork {
+	if _, err := NewModule(nil, nil); err != ErrNilNetwork {
 		t.Fatalf("module: %v", err)
 	}
 }
@@ -245,7 +245,7 @@ func TestModuleWithoutFlatten(t *testing.T) {
 	if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, rng); err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewModule(net)
+	m, err := NewModule(net, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

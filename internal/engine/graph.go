@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -27,19 +28,30 @@ type GraphExecutor struct {
 	nodes    []*opNode
 	schedule []int // topological order of node ids
 	fused    int
+
+	tr        *obs.Tracer
+	dispTrain *obs.Counter
+	dispInfer *obs.Counter
 }
 
 var _ Executor = (*GraphExecutor)(nil)
 
-// NewGraph compiles net into a graph executor.
-func NewGraph(net *nn.Network) (*GraphExecutor, error) {
+// NewGraph compiles net into a graph executor. A nil tracer disables
+// instrumentation at negligible cost.
+func NewGraph(net *nn.Network, tr *obs.Tracer) (*GraphExecutor, error) {
 	if net == nil {
 		return nil, ErrNilNetwork
 	}
-	g := &GraphExecutor{net: net}
+	g := &GraphExecutor{
+		net:       net,
+		tr:        tr,
+		dispTrain: tr.Counter(CounterTrainDispatch("graph")),
+		dispInfer: tr.Counter(CounterInferDispatch("graph")),
+	}
 	// Build the dataflow graph. The layer chain is a path graph, but the
 	// schedule is still computed with a general Kahn topological sort so
 	// the machinery matches a real graph runtime.
+	build := tr.Span("graph.build", CatEngine)
 	layers := net.Layers()
 	g.nodes = make([]*opNode, len(layers))
 	for i, l := range layers {
@@ -52,10 +64,14 @@ func NewGraph(net *nn.Network) (*GraphExecutor, error) {
 	}
 	schedule, err := topoSort(g.nodes)
 	if err != nil {
+		build.End()
 		return nil, fmt.Errorf("engine: graph build: %w", err)
 	}
 	g.schedule = schedule
+	build.End()
+	fuse := tr.Span("graph.fuse", CatEngine)
 	g.fuse()
+	fuse.End()
 	return g, nil
 }
 
@@ -119,7 +135,9 @@ func (g *GraphExecutor) Network() *nn.Network { return g.net }
 
 // TrainBatch implements Executor.
 func (g *GraphExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+	fwd := g.tr.Span("graph.forward", CatEngine)
 	logits, err := g.run(x, true)
+	fwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
 	}
@@ -127,28 +145,43 @@ func (g *GraphExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResul
 	if err != nil {
 		return nn.LossResult{}, err
 	}
-	// Backward walks the schedule in reverse.
+	// Backward walks the schedule in reverse; fusion applies to the
+	// forward kernels only, so every node dispatches its own gradient op.
+	bwd := g.tr.Span("graph.backward", CatEngine)
 	grad := res.Grad
 	for i := len(g.schedule) - 1; i >= 0; i-- {
 		n := g.nodes[g.schedule[i]]
 		grad, err = n.layer.Backward(grad)
 		if err != nil {
+			bwd.End()
 			return nn.LossResult{}, fmt.Errorf("engine: graph backward: %w", err)
 		}
 	}
+	bwd.End()
+	g.dispTrain.Add(int64(len(g.nodes)))
 	return res, nil
 }
 
-// run executes the forward schedule.
+// run executes the forward schedule, counting one dispatch per live
+// (unfused) node plus the session-run dispatch against the phase counter.
 func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	cur := x
+	dispatched := int64(1) // session-run dispatch
 	for _, id := range g.schedule {
 		n := g.nodes[id]
+		if n.fusedInto < 0 {
+			dispatched++
+		}
 		next, err := n.layer.Forward(cur, train)
 		if err != nil {
 			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, n.layer.Name(), err)
 		}
 		cur = next
+	}
+	if train {
+		g.dispTrain.Add(dispatched)
+	} else {
+		g.dispInfer.Add(dispatched)
 	}
 	return cur, nil
 }
@@ -160,6 +193,8 @@ func (g *GraphExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // Predict implements Executor.
 func (g *GraphExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+	sp := g.tr.Span("graph.predict", CatEngine)
+	defer sp.End()
 	logits, err := g.Logits(x)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -14,24 +15,37 @@ type LayerwiseExecutor struct {
 	net       *nn.Network
 	batchHint int
 	blobBytes int64
+
+	tr        *obs.Tracer
+	dispTrain *obs.Counter
+	dispInfer *obs.Counter
 }
 
 var _ Executor = (*LayerwiseExecutor)(nil)
 
 // NewLayerwise constructs a layerwise executor. batchHint sizes the blob
 // (activation memory) model; it is the batch size the net will train
-// with. The network's loss is clamped at Caffe's ln(FLT_MAX) bound.
-func NewLayerwise(net *nn.Network, batchHint int) (*LayerwiseExecutor, error) {
+// with. The network's loss is clamped at Caffe's ln(FLT_MAX) bound. A nil
+// tracer disables instrumentation at negligible cost.
+func NewLayerwise(net *nn.Network, batchHint int, tr *obs.Tracer) (*LayerwiseExecutor, error) {
 	if net == nil {
 		return nil, ErrNilNetwork
 	}
 	if batchHint <= 0 {
 		batchHint = 1
 	}
-	e := &LayerwiseExecutor{net: net, batchHint: batchHint}
+	e := &LayerwiseExecutor{
+		net:       net,
+		batchHint: batchHint,
+		tr:        tr,
+		dispTrain: tr.Counter(CounterTrainDispatch("layerwise")),
+		dispInfer: tr.Counter(CounterInferDispatch("layerwise")),
+	}
 	net.SetLossClamp(nn.CaffeLossClamp)
 	// Pre-size the blob arena: every layer's output activation (and its
 	// gradient) for the hint batch, 8 bytes per float64.
+	build := tr.Span("layerwise.build", CatEngine)
+	defer build.End()
 	cur := net.InShape()
 	bytes := int64(tensor.Volume(cur)) * int64(batchHint) * 8
 	for _, l := range net.Layers() {
@@ -52,18 +66,47 @@ func (e *LayerwiseExecutor) Name() string { return "layerwise" }
 // Network implements Executor.
 func (e *LayerwiseExecutor) Network() *nn.Network { return e.net }
 
-// TrainBatch implements Executor.
+// TrainBatch implements Executor. The phases are the same
+// forward/loss/backward sequence nn.Network.TrainStep runs, unrolled here
+// so each phase is spanned and its layer dispatches counted.
 func (e *LayerwiseExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
-	return e.net.TrainStep(x, labels)
+	n := int64(len(e.net.Layers()))
+	fwd := e.tr.Span("layerwise.forward", CatEngine)
+	logits, err := e.net.Forward(x, true)
+	fwd.End()
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	e.dispTrain.Add(n)
+	res, err := e.net.Loss(logits, labels)
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	bwd := e.tr.Span("layerwise.backward", CatEngine)
+	_, err = e.net.Backward(res.Grad)
+	bwd.End()
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	// One dispatch per layer backward plus the solver-step dispatch.
+	e.dispTrain.Add(n + 1)
+	return res, nil
 }
 
 // Logits implements Executor.
 func (e *LayerwiseExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
-	return e.net.Forward(x, false)
+	out, err := e.net.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	e.dispInfer.Add(int64(len(e.net.Layers())))
+	return out, nil
 }
 
 // Predict implements Executor.
 func (e *LayerwiseExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+	sp := e.tr.Span("layerwise.predict", CatEngine)
+	defer sp.End()
 	logits, err := e.Logits(x)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -102,15 +103,22 @@ func (m *module) containers() int {
 type ModuleExecutor struct {
 	net  *nn.Network
 	root *module
+
+	tr        *obs.Tracer
+	dispTrain *obs.Counter
+	dispInfer *obs.Counter
 }
 
 var _ Executor = (*ModuleExecutor)(nil)
 
-// NewModule constructs a module executor over net.
-func NewModule(net *nn.Network) (*ModuleExecutor, error) {
+// NewModule constructs a module executor over net. A nil tracer disables
+// instrumentation at negligible cost.
+func NewModule(net *nn.Network, tr *obs.Tracer) (*ModuleExecutor, error) {
 	if net == nil {
 		return nil, ErrNilNetwork
 	}
+	build := tr.Span("module.build", CatEngine)
+	defer build.End()
 	layers := net.Layers()
 	// Split at the Flatten layer the way Torch scripts split
 	// features/classifier; if there is none, a single container is used.
@@ -139,7 +147,38 @@ func NewModule(net *nn.Network) (*ModuleExecutor, error) {
 		}
 		root.children = append(root.children, features, classifier)
 	}
-	return &ModuleExecutor{net: net, root: root}, nil
+	return &ModuleExecutor{
+		net:       net,
+		root:      root,
+		tr:        tr,
+		dispTrain: tr.Counter(CounterTrainDispatch("module")),
+		dispInfer: tr.Counter(CounterInferDispatch("module")),
+	}, nil
+}
+
+// TrainBatch implements Executor.
+func (e *ModuleExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+	var d int
+	fwd := e.tr.Span("module.forward", CatEngine)
+	logits, err := e.root.forward(x, true, &d)
+	fwd.End()
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	res, err := e.net.Loss(logits, labels)
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	bwd := e.tr.Span("module.backward", CatEngine)
+	_, err = e.root.backward(res.Grad, &d)
+	bwd.End()
+	if err != nil {
+		return nn.LossResult{}, err
+	}
+	// The tree walks counted their own dispatches; Torch additionally
+	// dispatches accGradParameters once per leaf.
+	e.dispTrain.Add(int64(d + e.root.leaves()))
+	return res, nil
 }
 
 // Name implements Executor.
@@ -148,31 +187,21 @@ func (e *ModuleExecutor) Name() string { return "module" }
 // Network implements Executor.
 func (e *ModuleExecutor) Network() *nn.Network { return e.net }
 
-// TrainBatch implements Executor.
-func (e *ModuleExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
-	var d int
-	logits, err := e.root.forward(x, true, &d)
-	if err != nil {
-		return nn.LossResult{}, err
-	}
-	res, err := e.net.Loss(logits, labels)
-	if err != nil {
-		return nn.LossResult{}, err
-	}
-	if _, err := e.root.backward(res.Grad, &d); err != nil {
-		return nn.LossResult{}, err
-	}
-	return res, nil
-}
-
 // Logits implements Executor.
 func (e *ModuleExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 	var d int
-	return e.root.forward(x, false, &d)
+	out, err := e.root.forward(x, false, &d)
+	if err != nil {
+		return nil, err
+	}
+	e.dispInfer.Add(int64(d))
+	return out, nil
 }
 
 // Predict implements Executor.
 func (e *ModuleExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+	sp := e.tr.Span("module.predict", CatEngine)
+	defer sp.End()
 	logits, err := e.Logits(x)
 	if err != nil {
 		return nil, err

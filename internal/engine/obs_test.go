@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// tracedExecutors builds one executor of each style over identical
+// networks, each wired to its own tracer.
+func tracedExecutors(t *testing.T, seed uint64) map[string]struct {
+	exec Executor
+	tr   *obs.Tracer
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		exec Executor
+		tr   *obs.Tracer
+	})
+	trG, trL, trM := obs.New(), obs.New(), obs.New()
+	g, err := NewGraph(buildNet(t, seed), trG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := NewLayerwise(buildNet(t, seed), 4, trL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(buildNet(t, seed), trM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["graph"] = struct {
+		exec Executor
+		tr   *obs.Tracer
+	}{g, trG}
+	out["layerwise"] = struct {
+		exec Executor
+		tr   *obs.Tracer
+	}{lw, trL}
+	out["module"] = struct {
+		exec Executor
+		tr   *obs.Tracer
+	}{m, trM}
+	return out
+}
+
+func testBatch(seed uint64) (*tensor.Tensor, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.New(4, 1, 10, 10)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, 4)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+	return x, labels
+}
+
+// TestStatsMatchTracedDispatches is the cross-check between the static
+// cost model and the live tracer: for every executor style, one
+// TrainBatch must increment the traced dispatch counter by exactly
+// Stats().TrainDispatches, and one Logits by Stats().InferDispatches. The
+// device cost model charges the same mechanical dispatches the tracer
+// observes.
+func TestStatsMatchTracedDispatches(t *testing.T) {
+	x, labels := testBatch(99)
+	for name, e := range tracedExecutors(t, 7) {
+		t.Run(name, func(t *testing.T) {
+			stats := e.exec.Stats()
+			trainC := e.tr.Counter(CounterTrainDispatch(name))
+			inferC := e.tr.Counter(CounterInferDispatch(name))
+			if trainC.Value() != 0 || inferC.Value() != 0 {
+				t.Fatalf("dispatch counters non-zero before first batch: train=%d infer=%d",
+					trainC.Value(), inferC.Value())
+			}
+			if _, err := e.exec.TrainBatch(x, labels); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := trainC.Value(), int64(stats.TrainDispatches); got != want {
+				t.Errorf("one TrainBatch recorded %d dispatches, Stats().TrainDispatches = %d", got, want)
+			}
+			if inferC.Value() != 0 {
+				t.Errorf("TrainBatch leaked %d inference dispatches", inferC.Value())
+			}
+			if _, err := e.exec.Logits(x); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := inferC.Value(), int64(stats.InferDispatches); got != want {
+				t.Errorf("one Logits recorded %d dispatches, Stats().InferDispatches = %d", got, want)
+			}
+			// A second iteration doubles the counter — the count is
+			// per-iteration, not amortized.
+			if _, err := e.exec.TrainBatch(x, labels); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := trainC.Value(), 2*int64(stats.TrainDispatches); got != want {
+				t.Errorf("two TrainBatches recorded %d dispatches, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestExecutorSpansEmitted: every style must emit its build span at
+// construction and forward/backward spans per training iteration.
+func TestExecutorSpansEmitted(t *testing.T) {
+	x, labels := testBatch(42)
+	for name, e := range tracedExecutors(t, 13) {
+		t.Run(name, func(t *testing.T) {
+			if got := e.tr.Histogram(name + ".build").Count(); got != 1 {
+				t.Errorf("%s.build spans = %d, want 1", name, got)
+			}
+			const iters = 3
+			for i := 0; i < iters; i++ {
+				if _, err := e.exec.TrainBatch(x, labels); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, phase := range []string{".forward", ".backward"} {
+				if got := e.tr.Histogram(name + phase).Count(); got != iters {
+					t.Errorf("%s%s spans = %d, want %d", name, phase, got, iters)
+				}
+			}
+			if _, err := e.exec.Predict(x); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.tr.Histogram(name + ".predict").Count(); got != 1 {
+				t.Errorf("%s.predict spans = %d, want 1", name, got)
+			}
+		})
+	}
+}
+
+// TestGraphFuseSpanEmitted: the graph executor additionally spans its
+// optimization pass.
+func TestGraphFuseSpanEmitted(t *testing.T) {
+	tr := obs.New()
+	if _, err := NewGraph(buildNet(t, 3), tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Histogram("graph.fuse").Count(); got != 1 {
+		t.Fatalf("graph.fuse spans = %d, want 1", got)
+	}
+}
+
+// TestNilTracerExecutorsStillWork: the disabled state must not change
+// executor behaviour.
+func TestNilTracerExecutorsStillWork(t *testing.T) {
+	x, labels := testBatch(5)
+	for name, exec := range executors(t, 11) {
+		res, err := exec.TrainBatch(x, labels)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Loss <= 0 {
+			t.Fatalf("%s: non-positive loss %v", name, res.Loss)
+		}
+	}
+}

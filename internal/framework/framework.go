@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // ErrUnknown is returned (wrapped) for unknown framework or dataset ids.
@@ -169,15 +170,24 @@ func (id ID) Regularizer() string {
 
 // NewExecutor binds a network to the framework's execution style:
 // TensorFlow compiles a dataflow graph, Caffe runs layer-wise over blobs,
-// Torch dispatches through a module tree.
+// Torch dispatches through a module tree. Instrumentation is disabled;
+// use NewTracedExecutor to observe the executor.
 func NewExecutor(id ID, net *nn.Network, batchHint int) (engine.Executor, error) {
+	return NewTracedExecutor(id, net, batchHint, nil)
+}
+
+// NewTracedExecutor is NewExecutor with an obs tracer attached: the
+// executor emits per-phase spans (build, fuse, forward, backward,
+// predict) and per-op dispatch counters. A nil tracer is the documented
+// no-op state.
+func NewTracedExecutor(id ID, net *nn.Network, batchHint int, tr *obs.Tracer) (engine.Executor, error) {
 	switch id {
 	case TensorFlow:
-		return engine.NewGraph(net)
+		return engine.NewGraph(net, tr)
 	case Caffe:
-		return engine.NewLayerwise(net, batchHint)
+		return engine.NewLayerwise(net, batchHint, tr)
 	case Torch:
-		return engine.NewModule(net)
+		return engine.NewModule(net, tr)
 	default:
 		return nil, fmt.Errorf("%w: framework %d", ErrUnknown, int(id))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -62,9 +63,16 @@ func PreprocessingFor(fw ID, ds DatasetID) Preprocessing {
 // ApplyPreprocessing transforms a [0,1]-pixel batch in place according to
 // the pipeline.
 func ApplyPreprocessing(p Preprocessing, x *tensor.Tensor) {
+	ApplyPreprocessingObs(p, x, nil)
+}
+
+// ApplyPreprocessingObs is ApplyPreprocessing with the standardize phase
+// timed into tr (see data.StandardizeBatchObs). A nil tracer is the
+// documented no-op state.
+func ApplyPreprocessingObs(p Preprocessing, x *tensor.Tensor, tr *obs.Tracer) {
 	switch p {
 	case PrepStandardize:
-		data.StandardizeBatch(x)
+		data.StandardizeBatchObs(x, tr)
 	case PrepCaffeRaw:
 		// (x − mean)·255 with the dataset mean approximated by 0.5: the
 		// synthetic CIFAR generator is calibrated around mid-gray.

@@ -64,5 +64,38 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 	return nil
 }
 
+// lossCSVHeader is the flat column layout of WriteLossCSV.
+var lossCSVHeader = []string{
+	"framework", "settings", "dataset", "device", "iteration", "loss",
+}
+
+// WriteLossCSV encodes every run's loss history as flat CSV — one row
+// per (run, loss sample) — so convergence plots (the paper's Figure 5)
+// can be drawn from CSV alone. WriteCSV deliberately omits LossHistory
+// from its per-run rows; this is its long-format companion.
+func WriteLossCSV(w io.Writer, results []RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(lossCSVHeader); err != nil {
+		return fmt.Errorf("metrics: write loss csv header: %w", err)
+	}
+	for _, r := range results {
+		for _, p := range r.LossHistory {
+			row := []string{
+				r.Framework, r.Settings, r.Dataset, r.Device,
+				strconv.Itoa(p.Iteration),
+				strconv.FormatFloat(p.Loss, 'f', 6, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("metrics: write loss csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: flush loss csv: %w", err)
+	}
+	return nil
+}
+
 // JSON tags for RunResult serialization live on the type itself via
 // MarshalJSON-free struct encoding; field names are exported as-is.

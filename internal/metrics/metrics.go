@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // ErrInput is returned (wrapped) for invalid metric inputs.
@@ -128,6 +130,11 @@ type RunResult struct {
 	// Epochs is the number of epochs actually trained at reproduction
 	// scale.
 	Epochs int
+	// Telemetry, when the suite ran with an obs tracer attached, is the
+	// run-scoped instrument delta: phase durations with quantiles,
+	// dispatch counters, loss/accuracy gauges. Nil when observability is
+	// disabled; omitted from JSON in that case.
+	Telemetry *obs.Snapshot `json:",omitempty"`
 }
 
 // LossPoint is one sample of the training-loss curve.
