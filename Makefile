@@ -1,13 +1,15 @@
 # Tier-1 gate for this repository. `make check` is what CI (and every PR)
 # must keep green: static checks, a full build, the race-enabled test
-# suite, and the observability overhead guard that proves the disabled
-# tracer costs <2% of a training iteration.
+# suite, the observability overhead guard that proves the disabled
+# tracer costs <2% of a training iteration, and the chaos suite that
+# exercises fault injection, divergence recovery, panic conversion and
+# checkpoint/resume under the race detector.
 
 GO ?= go
 
-.PHONY: check vet build test obs-overhead bench trace-demo clean
+.PHONY: check vet build test obs-overhead chaos bench trace-demo clean
 
-check: vet build test obs-overhead
+check: vet build test obs-overhead chaos
 
 vet:
 	$(GO) vet ./...
@@ -16,7 +18,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # The acceptance guard from internal/obs: the nil-tracer fast path must
 # stay under 2% of a training iteration, and the disabled-primitive
@@ -24,6 +26,15 @@ test:
 obs-overhead:
 	$(GO) test ./internal/obs/ -count=1 -run TestDisabledTracerOverheadUnderTwoPercent -v
 	$(GO) test ./internal/obs/ -count=1 -run '^$$' -bench 'BenchmarkDisabled' -benchtime=100ms
+
+# Fault-injection and recovery suite under the race detector: the chaos
+# matrix (NaN + op faults with per-cell isolation), checkpoint/resume
+# determinism, executor panic conversion, cancellation, and the parser/
+# injector/checkpoint unit tests.
+chaos:
+	$(GO) test -race -count=1 -timeout 20m \
+		-run 'Chaos|Fault|Inject|Panic|Resume|Cancel|Checkpoint|Guard|Diverge|Recover|Backoff|Plan' \
+		./internal/resilience/ ./internal/core/ ./internal/engine/ ./internal/tensor/
 
 bench:
 	$(GO) test -bench=. -benchmem

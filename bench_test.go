@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -87,7 +88,7 @@ func BenchmarkTable5CIFARNetworks(b *testing.B) { benchBuildNetworks(b, framewor
 func BenchmarkFig1MNISTBaseline(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Baseline(framework.MNIST); err != nil {
+		if _, err := s.Baseline(context.Background(), framework.MNIST); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkFig1MNISTBaseline(b *testing.B) {
 func BenchmarkFig2CIFARBaseline(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Baseline(framework.CIFAR10); err != nil {
+		if _, err := s.Baseline(context.Background(), framework.CIFAR10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkFig2CIFARBaseline(b *testing.B) {
 func BenchmarkFig3DatasetDependentMNIST(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.DatasetDependent(framework.MNIST); err != nil {
+		if _, err := s.DatasetDependent(context.Background(), framework.MNIST); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +115,7 @@ func BenchmarkFig3DatasetDependentMNIST(b *testing.B) {
 func BenchmarkFig4DatasetDependentCIFAR(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.DatasetDependent(framework.CIFAR10); err != nil {
+		if _, err := s.DatasetDependent(context.Background(), framework.CIFAR10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func BenchmarkFig4DatasetDependentCIFAR(b *testing.B) {
 func BenchmarkFig5CaffeConvergence(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.CaffeConvergence(); err != nil {
+		if _, err := s.CaffeConvergence(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +133,7 @@ func BenchmarkFig5CaffeConvergence(b *testing.B) {
 func BenchmarkFig6FrameworkDependentMNIST(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.FrameworkDependent(framework.MNIST); err != nil {
+		if _, err := s.FrameworkDependent(context.Background(), framework.MNIST); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func BenchmarkFig6FrameworkDependentMNIST(b *testing.B) {
 func BenchmarkFig7FrameworkDependentCIFAR(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.FrameworkDependent(framework.CIFAR10); err != nil {
+		if _, err := s.FrameworkDependent(context.Background(), framework.CIFAR10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func BenchmarkFig7FrameworkDependentCIFAR(b *testing.B) {
 func BenchmarkTable6MNISTSummary(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.SummaryTable(framework.MNIST); err != nil {
+		if _, err := s.SummaryTable(context.Background(), framework.MNIST); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func BenchmarkTable6MNISTSummary(b *testing.B) {
 func BenchmarkTable7CIFARSummary(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.SummaryTable(framework.CIFAR10); err != nil {
+		if _, err := s.SummaryTable(context.Background(), framework.CIFAR10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -168,7 +169,7 @@ func BenchmarkTable7CIFARSummary(b *testing.B) {
 func BenchmarkFig8FGSM(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.UntargetedRobustness(); err != nil {
+		if _, err := s.UntargetedRobustness(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -177,7 +178,7 @@ func BenchmarkFig8FGSM(b *testing.B) {
 func BenchmarkFig9Table8Table9JSMA(b *testing.B) {
 	s := suite(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.TargetedRobustness(1); err != nil {
+		if _, err := s.TargetedRobustness(context.Background(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +225,7 @@ func BenchmarkExecutorOverhead(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.TrainBatch(x, labels); err != nil {
+				if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,7 +7,9 @@
 //
 //	dlbench [-scale test|small|full] [-seed N] [-quiet]
 //	        [-json FILE] [-csv FILE] [-losscsv FILE]
-//	        [-trace FILE] [-telemetry] [-pprof ADDR] <experiment>...
+//	        [-trace FILE] [-telemetry] [-pprof ADDR]
+//	        [-timeout D] [-checkpoint-dir DIR] [-resume]
+//	        [-max-retries N] [-faults PLAN] <experiment>...
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 table6 table7 table8 table9, or "all".
@@ -18,15 +20,25 @@
 // counter and gauge tables after the reports; -pprof serves
 // net/http/pprof on the given address for live profiling. All three are
 // off by default, and the instrumented hot paths are no-ops when off.
+//
+// Robustness: -timeout bounds the whole invocation and SIGINT cancels
+// it; both produce a well-formed partial report (completed rows, JSON/CSV
+// exports, telemetry, trace). -checkpoint-dir persists periodic training
+// checkpoints, -resume continues a killed sweep from them, -max-retries
+// bounds in-process divergence/fault recovery (0 disables the resilience
+// layer), and -faults injects deterministic faults for harness testing
+// (e.g. "nan@3;operr@5:site=graph.forward,cell=TF").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
@@ -34,6 +46,7 @@ import (
 	"repro/internal/framework"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 func main() {
@@ -69,6 +82,11 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "record execution spans and write a Chrome trace_event JSON to this file")
 	telemetry := fs.Bool("telemetry", false, "print runtime telemetry tables (durations, counters, gauges) after the reports")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+	timeout := fs.Duration("timeout", 0, "cancel the whole invocation after this duration, emitting a partial report (0 disables)")
+	checkpointDir := fs.String("checkpoint-dir", "", "persist periodic training checkpoints to this directory")
+	resume := fs.Bool("resume", false, "resume training runs from checkpoints in -checkpoint-dir")
+	maxRetries := fs.Int("max-retries", 2, "in-process recovery attempts per training run for divergence and injected faults (0 disables the resilience layer)")
+	faultSpec := fs.String("faults", "", "deterministic fault plan, e.g. \"nan@3;operr@5:site=graph.forward,cell=TF\" (kinds: nan inf operr slow corrupt crash)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +104,35 @@ func run(args []string) error {
 	}
 	sink := &progressSink{w: os.Stderr, quiet: *quiet}
 	suite.Progress = sink.printf
+
+	// Cancellation: SIGINT and -timeout share one context; everything
+	// below observes it at iteration/batch granularity and the partial
+	// outputs are still written on the way out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	suite.Resilience = resilience.Policy{MaxRetries: *maxRetries}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *checkpointDir != "" {
+		store, err := resilience.NewStore(*checkpointDir)
+		if err != nil {
+			return err
+		}
+		suite.Checkpoints = store
+		suite.Resume = *resume
+	}
+	plan, err := resilience.ParsePlan(*faultSpec)
+	if err != nil {
+		return err
+	}
+	suite.Faults = plan
 
 	// The tracer exists only when some consumer asked for it; otherwise
 	// every instrumented path stays on the documented no-op branch.
@@ -117,13 +164,24 @@ func run(args []string) error {
 		targets = knownExperiments()
 	}
 	var collected []metrics.RunResult
+	interrupted := false
 	for _, t := range targets {
-		text, rows, err := runExperiment(suite, t)
+		text, rows, err := runExperiment(ctx, suite, t)
+		collected = append(collected, rows...)
+		if text != "" {
+			fmt.Println(text)
+		}
 		if err != nil {
+			if ctx.Err() != nil {
+				// Cancellation is not a failure: stop sweeping, keep the
+				// rows completed so far, and fall through to the exports
+				// so the partial report is well-formed.
+				sink.printf("interrupted during %s (%v); writing partial report", t, ctx.Err())
+				interrupted = true
+				break
+			}
 			return fmt.Errorf("%s: %w", t, err)
 		}
-		collected = append(collected, rows...)
-		fmt.Println(text)
 	}
 	if *jsonPath != "" {
 		if err := writeResults(*jsonPath, collected, metrics.WriteJSON); err != nil {
@@ -157,6 +215,9 @@ func run(args []string) error {
 		if n := tracer.Dropped(); n > 0 {
 			sink.printf("warning: %d spans dropped after the %d-span buffer filled", n, tracer.SpanCount())
 		}
+	}
+	if interrupted {
+		sink.printf("partial report: %d run results completed before cancellation", len(collected))
 	}
 	return nil
 }
@@ -205,7 +266,7 @@ func knownExperiments() []string {
 	}
 }
 
-func runExperiment(s *core.Suite, name string) (string, []metrics.RunResult, error) {
+func runExperiment(ctx context.Context, s *core.Suite, name string) (string, []metrics.RunResult, error) {
 	switch name {
 	case "table1":
 		return tableI(), nil, nil
@@ -222,40 +283,40 @@ func runExperiment(s *core.Suite, name string) (string, []metrics.RunResult, err
 		out, err := networksTable(framework.CIFAR10)
 		return out, nil, err
 	case "fig1":
-		r, err := s.Baseline(framework.MNIST)
+		r, err := s.Baseline(ctx, framework.MNIST)
 		return r.Text, r.Rows, err
 	case "fig2":
-		r, err := s.Baseline(framework.CIFAR10)
+		r, err := s.Baseline(ctx, framework.CIFAR10)
 		return r.Text, r.Rows, err
 	case "fig3":
-		r, err := s.DatasetDependent(framework.MNIST)
+		r, err := s.DatasetDependent(ctx, framework.MNIST)
 		return r.Text, r.Rows, err
 	case "fig4":
-		r, err := s.DatasetDependent(framework.CIFAR10)
+		r, err := s.DatasetDependent(ctx, framework.CIFAR10)
 		return r.Text, r.Rows, err
 	case "fig5":
-		r, err := s.CaffeConvergence()
+		r, err := s.CaffeConvergence(ctx)
 		return r.Text, nil, err
 	case "fig6":
-		r, err := s.FrameworkDependent(framework.MNIST)
+		r, err := s.FrameworkDependent(ctx, framework.MNIST)
 		return r.Text, r.Rows, err
 	case "fig7":
-		r, err := s.FrameworkDependent(framework.CIFAR10)
+		r, err := s.FrameworkDependent(ctx, framework.CIFAR10)
 		return r.Text, r.Rows, err
 	case "table6":
-		out, err := s.SummaryTable(framework.MNIST)
+		out, err := s.SummaryTable(ctx, framework.MNIST)
 		return out, nil, err
 	case "table7":
-		out, err := s.SummaryTable(framework.CIFAR10)
+		out, err := s.SummaryTable(ctx, framework.CIFAR10)
 		return out, nil, err
 	case "fig8":
-		r, err := s.UntargetedRobustness()
+		r, err := s.UntargetedRobustness(ctx)
 		return r.Text, nil, err
 	case "fig9", "table8", "table9":
-		r, err := s.TargetedRobustness(1)
+		r, err := s.TargetedRobustness(ctx, 1)
 		return r.Text, nil, err
 	case "noise":
-		r, err := s.NoiseSensitivity(nil)
+		r, err := s.NoiseSensitivity(ctx, nil)
 		return r.Text, nil, err
 	case "shapes":
 		r, err := s.CheckShapes()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestRunExperimentStaticTables(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			out, _, err := runExperiment(s, tt.name)
+			out, _, err := runExperiment(context.Background(), s, tt.name)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -51,7 +52,7 @@ func TestRunExperimentStaticTables(t *testing.T) {
 
 func TestRunExperimentUnknown(t *testing.T) {
 	s := testSuite(t)
-	if _, _, err := runExperiment(s, "fig42"); err == nil {
+	if _, _, err := runExperiment(context.Background(), s, "fig42"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

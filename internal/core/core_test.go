@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -276,7 +277,7 @@ func TestTargetedRobustnessRejectsBadSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.TargetedRobustness(10); !errors.Is(err, ErrConfig) {
+	if _, err := s.TargetedRobustness(context.Background(), 10); !errors.Is(err, ErrConfig) {
 		t.Fatal("source 10 must be rejected")
 	}
 }

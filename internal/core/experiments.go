@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -20,58 +21,53 @@ type ExperimentResult struct {
 }
 
 // Baseline reproduces Figures 1/2 and Tables VI(a)/VII(a): every framework
-// under its own defaults for ds, on CPU and GPU.
-func (s *Suite) Baseline(ds framework.DatasetID) (ExperimentResult, error) {
-	var rows []metrics.RunResult
+// under its own defaults for ds, on CPU and GPU. Cells run with failure
+// isolation (see RunMatrix): a failed cell becomes a Failed row and the
+// rest of the matrix completes. A non-nil error means cancellation; the
+// returned result still renders the rows completed so far.
+func (s *Suite) Baseline(ctx context.Context, ds framework.DatasetID) (ExperimentResult, error) {
+	var specs []RunSpec
 	for _, kind := range []device.Kind{device.CPU, device.GPU} {
 		for _, fw := range framework.All {
-			r, err := s.Run(RunSpec{Framework: fw, SettingsFW: fw, SettingsDS: ds, Data: ds, Device: kind})
-			if err != nil {
-				return ExperimentResult{}, err
-			}
-			rows = append(rows, r)
+			specs = append(specs, RunSpec{Framework: fw, SettingsFW: fw, SettingsDS: ds, Data: ds, Device: kind})
 		}
 	}
+	rows, err := s.RunMatrix(ctx, specs)
 	title := fmt.Sprintf("Baseline default settings on %s (paper Fig. %d / Table %s(a))",
 		ds, figNumber(ds, 1, 2), tableNumber(ds))
-	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, true)}, nil
+	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, true)}, err
 }
 
 // DatasetDependent reproduces Figures 3/4 and Tables VI(b)/VII(b): each
 // framework trained on dataOn with its own MNIST defaults and its own
-// CIFAR-10 defaults (GPU).
-func (s *Suite) DatasetDependent(dataOn framework.DatasetID) (ExperimentResult, error) {
-	var rows []metrics.RunResult
+// CIFAR-10 defaults (GPU). Failure isolation as in Baseline.
+func (s *Suite) DatasetDependent(ctx context.Context, dataOn framework.DatasetID) (ExperimentResult, error) {
+	var specs []RunSpec
 	for _, fw := range framework.All {
 		for _, settingsDS := range framework.Datasets {
-			r, err := s.Run(RunSpec{Framework: fw, SettingsFW: fw, SettingsDS: settingsDS, Data: dataOn, Device: device.GPU})
-			if err != nil {
-				return ExperimentResult{}, err
-			}
-			rows = append(rows, r)
+			specs = append(specs, RunSpec{Framework: fw, SettingsFW: fw, SettingsDS: settingsDS, Data: dataOn, Device: device.GPU})
 		}
 	}
+	rows, err := s.RunMatrix(ctx, specs)
 	title := fmt.Sprintf("Dataset-dependent default settings on %s (paper Fig. %d / Table %s(b))",
 		dataOn, figNumber(dataOn, 3, 4), tableNumber(dataOn))
-	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, false)}, nil
+	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, false)}, err
 }
 
 // FrameworkDependent reproduces Figures 6/7 and Tables VI(c)/VII(c): each
 // framework trained on ds with each framework's defaults for ds (GPU).
-func (s *Suite) FrameworkDependent(ds framework.DatasetID) (ExperimentResult, error) {
-	var rows []metrics.RunResult
+// Failure isolation as in Baseline.
+func (s *Suite) FrameworkDependent(ctx context.Context, ds framework.DatasetID) (ExperimentResult, error) {
+	var specs []RunSpec
 	for _, fw := range framework.All {
 		for _, settingsFW := range framework.All {
-			r, err := s.Run(RunSpec{Framework: fw, SettingsFW: settingsFW, SettingsDS: ds, Data: ds, Device: device.GPU})
-			if err != nil {
-				return ExperimentResult{}, err
-			}
-			rows = append(rows, r)
+			specs = append(specs, RunSpec{Framework: fw, SettingsFW: settingsFW, SettingsDS: ds, Data: ds, Device: device.GPU})
 		}
 	}
+	rows, err := s.RunMatrix(ctx, specs)
 	title := fmt.Sprintf("Framework-dependent default settings on %s (paper Fig. %d / Table %s(c))",
 		ds, figNumber(ds, 6, 7), tableNumber(ds))
-	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, false)}, nil
+	return ExperimentResult{Title: title, Rows: rows, Text: renderTimeAccuracyTable(title, rows, false)}, err
 }
 
 // ConvergenceResult carries the Figure 5 loss curves.
@@ -87,14 +83,14 @@ type ConvergenceResult struct {
 // CaffeConvergence reproduces Figure 5: Caffe's training loss on CIFAR-10
 // under its MNIST defaults (diverges, loss pinned at the ≈87.34 clamp) and
 // its CIFAR-10 defaults (converges).
-func (s *Suite) CaffeConvergence() (ConvergenceResult, error) {
+func (s *Suite) CaffeConvergence(ctx context.Context) (ConvergenceResult, error) {
 	res := ConvergenceResult{
 		Title:     "Training loss of Caffe on CIFAR-10 (paper Fig. 5)",
 		Curves:    make(map[string][]metrics.LossPoint),
 		Converged: make(map[string]bool),
 	}
 	for _, settingsDS := range framework.Datasets {
-		r, err := s.Run(RunSpec{
+		r, err := s.RunContext(ctx, RunSpec{
 			Framework: framework.Caffe, SettingsFW: framework.Caffe,
 			SettingsDS: settingsDS, Data: framework.CIFAR10, Device: device.GPU,
 		})
@@ -137,13 +133,13 @@ type UntargetedRobustnessResult struct {
 }
 
 // UntargetedRobustness reproduces Figure 8 with the suite's FGSM settings.
-func (s *Suite) UntargetedRobustness() (UntargetedRobustnessResult, error) {
+func (s *Suite) UntargetedRobustness(ctx context.Context) (UntargetedRobustnessResult, error) {
 	_, test, err := s.Datasets(framework.MNIST)
 	if err != nil {
 		return UntargetedRobustnessResult{}, err
 	}
 	attack := func(fw framework.ID) (adversarial.UntargetedResult, error) {
-		net, err := s.TrainedNetwork(RunSpec{
+		net, err := s.TrainedNetworkContext(ctx, RunSpec{
 			Framework: fw, SettingsFW: fw,
 			SettingsDS: framework.MNIST, Data: framework.MNIST, Device: device.GPU,
 		})
@@ -209,7 +205,7 @@ type TargetedRobustnessResult struct {
 // of the source digit into every other class, for the four
 // framework/parameter pairings of the paper ({TF, Caffe} × {TF params,
 // Caffe params}).
-func (s *Suite) TargetedRobustness(source int) (TargetedRobustnessResult, error) {
+func (s *Suite) TargetedRobustness(ctx context.Context, source int) (TargetedRobustnessResult, error) {
 	if source < 0 || source > 9 {
 		return TargetedRobustnessResult{}, fmt.Errorf("%w: source digit %d", ErrConfig, source)
 	}
@@ -231,7 +227,7 @@ func (s *Suite) TargetedRobustness(source int) (TargetedRobustnessResult, error)
 	}
 	for _, p := range pairs {
 		spec := RunSpec{Framework: p.fw, SettingsFW: p.settings, SettingsDS: framework.MNIST, Data: framework.MNIST, Device: device.GPU}
-		net, err := s.TrainedNetwork(spec)
+		net, err := s.TrainedNetworkContext(ctx, spec)
 		if err != nil {
 			return TargetedRobustnessResult{}, err
 		}
@@ -325,16 +321,16 @@ func thirdLayerDesc(settings framework.ID) string {
 
 // SummaryTable reproduces Table VI (MNIST) or Table VII (CIFAR-10): the
 // baseline, dataset-dependent and framework-dependent sections combined.
-func (s *Suite) SummaryTable(ds framework.DatasetID) (string, error) {
-	base, err := s.Baseline(ds)
+func (s *Suite) SummaryTable(ctx context.Context, ds framework.DatasetID) (string, error) {
+	base, err := s.Baseline(ctx, ds)
 	if err != nil {
 		return "", err
 	}
-	dataDep, err := s.DatasetDependent(ds)
+	dataDep, err := s.DatasetDependent(ctx, ds)
 	if err != nil {
 		return "", err
 	}
-	fwDep, err := s.FrameworkDependent(ds)
+	fwDep, err := s.FrameworkDependent(ctx, ds)
 	if err != nil {
 		return "", err
 	}
@@ -364,6 +360,13 @@ func renderTimeAccuracyTable(title string, rows []metrics.RunResult, withDevice 
 		cells := []string{r.Framework}
 		if withDevice {
 			cells = append(cells, r.Device)
+		}
+		if r.Failed {
+			// Failed cells keep their identification columns so a
+			// partially failed matrix still renders row-for-row.
+			cells = append(cells, r.Settings, "-", "-", "FAILED", "-", "-", "false")
+			tbl.AddRow(cells...)
+			continue
 		}
 		cells = append(cells, r.Settings,
 			metrics.FormatSeconds(r.Train.ModelSeconds),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func experimentSuite(t *testing.T) *Suite {
 
 func TestBaselineExperimentMNIST(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.Baseline(framework.MNIST)
+	res, err := s.Baseline(context.Background(), framework.MNIST)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestBaselineExperimentMNIST(t *testing.T) {
 
 func TestDatasetDependentExperimentMNIST(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.DatasetDependent(framework.MNIST)
+	res, err := s.DatasetDependent(context.Background(), framework.MNIST)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestDatasetDependentExperimentMNIST(t *testing.T) {
 
 func TestFrameworkDependentExperimentMNIST(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.FrameworkDependent(framework.MNIST)
+	res, err := s.FrameworkDependent(context.Background(), framework.MNIST)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestFrameworkDependentExperimentMNIST(t *testing.T) {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
 	// Diagonal rows reuse the baseline models (same accuracy).
-	base, err := s.Baseline(framework.MNIST)
+	base, err := s.Baseline(context.Background(), framework.MNIST)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestFrameworkDependentExperimentMNIST(t *testing.T) {
 
 func TestCaffeConvergenceExperiment(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.CaffeConvergence()
+	res, err := s.CaffeConvergence(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCaffeConvergenceExperiment(t *testing.T) {
 
 func TestUntargetedRobustnessExperiment(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.UntargetedRobustness()
+	res, err := s.UntargetedRobustness(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestUntargetedRobustnessExperiment(t *testing.T) {
 
 func TestTargetedRobustnessExperiment(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.TargetedRobustness(1)
+	res, err := s.TargetedRobustness(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestTargetedRobustnessExperiment(t *testing.T) {
 
 func TestSummaryTableStructure(t *testing.T) {
 	s := experimentSuite(t)
-	out, err := s.SummaryTable(framework.MNIST)
+	out, err := s.SummaryTable(context.Background(), framework.MNIST)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestSummaryTableStructure(t *testing.T) {
 
 func TestNoiseSensitivityExtension(t *testing.T) {
 	s := experimentSuite(t)
-	res, err := s.NoiseSensitivity([]float64{0.2, 0.9})
+	res, err := s.NoiseSensitivity(context.Background(), []float64{0.2, 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -32,7 +33,7 @@ type NoiseSensitivityResult struct {
 // trains each framework's MNIST default at increasing synthetic-data
 // difficulty (distortion + noise) and reports the accuracy curve,
 // exposing where each configuration's accuracy cliff sits.
-func (s *Suite) NoiseSensitivity(levels []float64) (NoiseSensitivityResult, error) {
+func (s *Suite) NoiseSensitivity(ctx context.Context, levels []float64) (NoiseSensitivityResult, error) {
 	if len(levels) == 0 {
 		levels = []float64{0.2, 0.5, 0.8, 1.0}
 	}
@@ -42,7 +43,7 @@ func (s *Suite) NoiseSensitivity(levels []float64) (NoiseSensitivityResult, erro
 	}
 	for _, fw := range framework.All {
 		for _, diff := range levels {
-			acc, err := s.trainAtDifficulty(fw, diff)
+			acc, err := s.trainAtDifficulty(ctx, fw, diff)
 			if err != nil {
 				return NoiseSensitivityResult{}, err
 			}
@@ -75,7 +76,7 @@ func shortNames() []string {
 // trainAtDifficulty trains fw's MNIST default on a fresh synthetic MNIST
 // at the given difficulty (outside the suite's dataset cache) and returns
 // test accuracy.
-func (s *Suite) trainAtDifficulty(fw framework.ID, difficulty float64) (float64, error) {
+func (s *Suite) trainAtDifficulty(ctx context.Context, fw framework.ID, difficulty float64) (float64, error) {
 	train, test, err := data.SynthMNIST(data.SynthConfig{
 		Train: s.scale.Train, Test: s.scale.Test,
 		Seed: s.seed ^ uint64(difficulty*1000), Difficulty: difficulty,
@@ -121,11 +122,14 @@ func (s *Suite) trainAtDifficulty(fw framework.ID, difficulty float64) (float64,
 	}
 	s.progress("noise sweep: %s at difficulty %.2f (%d iters)", fw, difficulty, totalIters)
 	for it := 0; it < totalIters; it++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		x, labels, err := batches.Next()
 		if err != nil {
 			return 0, err
 		}
-		if _, err := exec.TrainBatch(x, labels); err != nil {
+		if _, err := exec.TrainBatch(ctx, x, labels); err != nil {
 			return 0, err
 		}
 		if err := opt.Step(); err != nil {
@@ -149,7 +153,7 @@ func (s *Suite) trainAtDifficulty(fw framework.ID, difficulty float64) (float64,
 		if err != nil {
 			return 0, err
 		}
-		preds, err := exec.Predict(x)
+		preds, err := exec.Predict(ctx, x)
 		if err != nil {
 			return 0, err
 		}

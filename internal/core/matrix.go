@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/resilience"
+)
+
+// RunMatrix executes a slice of matrix cells with per-cell failure
+// isolation: a cell that fails (divergence past the retry budget, an
+// injected crash, a panic that escaped the executors) is recorded as a
+// Failed row and the sweep continues with the remaining cells.
+//
+// Cancellation is the one failure that does stop the sweep: when ctx is
+// done the rows completed so far are returned together with the context's
+// error, so the caller can still emit a well-formed partial report.
+func (s *Suite) RunMatrix(ctx context.Context, specs []RunSpec) ([]metrics.RunResult, error) {
+	rows := make([]metrics.RunResult, 0, len(specs))
+	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		row, err := s.runCell(ctx, spec)
+		if err != nil {
+			if ctx.Err() != nil {
+				return rows, ctx.Err()
+			}
+			s.Obs.Counter(resilience.CounterCellsFailed).Inc()
+			s.progress("  cell %s FAILED: %v", spec.CellKey(), err)
+			rows = append(rows, failedResult(spec, err))
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runCell runs one cell, converting any panic that escapes the suite's
+// own bookkeeping (the executors already convert dispatch panics) into an
+// error so one cell can never abort the whole matrix.
+func (s *Suite) runCell(ctx context.Context, spec RunSpec) (row metrics.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.Obs.Counter(resilience.CounterPanics).Inc()
+			err = fmt.Errorf("core: cell %s panicked: %v", spec.CellKey(), r)
+		}
+	}()
+	return s.RunContext(ctx, spec)
+}
+
+// failedResult renders a failed cell as a report row: identification
+// columns filled, Failed set, the cause in Error, metrics zeroed.
+func failedResult(spec RunSpec, err error) metrics.RunResult {
+	return metrics.RunResult{
+		Framework: spec.Framework.Short(),
+		Settings:  spec.settingsLabel(),
+		Dataset:   spec.Data.String(),
+		Device:    spec.Device.String(),
+		Failed:    true,
+		Error:     err.Error(),
+	}
+}

@@ -1,16 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"time"
 
-	"repro/internal/data"
 	"repro/internal/framework"
 	"repro/internal/metrics"
 	"repro/internal/nn"
-	"repro/internal/obs"
-	"repro/internal/tensor"
 )
 
 // evalBatchSize is the batch size used for test-set evaluation (the paper
@@ -19,9 +15,17 @@ const evalBatchSize = 100
 
 // Run executes (or retrieves from cache) the training computation for spec
 // and assembles its RunResult, with cost-model times for spec.Device at
-// paper scale.
+// paper scale. It is RunContext under a background context.
 func (s *Suite) Run(spec RunSpec) (metrics.RunResult, error) {
-	tm, err := s.model(spec)
+	return s.RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a caller-controlled context: cancellation
+// (timeouts, SIGINT) is observed at iteration granularity during training
+// and at batch granularity during evaluation, so a cancelled sweep
+// returns within one executor phase.
+func (s *Suite) RunContext(ctx context.Context, spec RunSpec) (metrics.RunResult, error) {
+	tm, err := s.model(ctx, spec)
 	if err != nil {
 		return metrics.RunResult{}, err
 	}
@@ -31,7 +35,12 @@ func (s *Suite) Run(spec RunSpec) (metrics.RunResult, error) {
 // TrainedNetwork returns the trained network for spec (used by the
 // adversarial experiments, which attack trained models).
 func (s *Suite) TrainedNetwork(spec RunSpec) (*nn.Network, error) {
-	tm, err := s.model(spec)
+	return s.TrainedNetworkContext(context.Background(), spec)
+}
+
+// TrainedNetworkContext is TrainedNetwork under a caller context.
+func (s *Suite) TrainedNetworkContext(ctx context.Context, spec RunSpec) (*nn.Network, error) {
+	tm, err := s.model(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +77,7 @@ func (s *Suite) assemble(spec RunSpec, tm *trainedModel) (metrics.RunResult, err
 
 // model returns the cached training computation for spec, training it on
 // first use.
-func (s *Suite) model(spec RunSpec) (*trainedModel, error) {
+func (s *Suite) model(ctx context.Context, spec RunSpec) (*trainedModel, error) {
 	key := modelKey{
 		fw:         spec.Framework,
 		settingsFW: spec.SettingsFW,
@@ -82,202 +91,12 @@ func (s *Suite) model(spec RunSpec) (*trainedModel, error) {
 	if ok {
 		return tm, nil
 	}
-	tm, err := s.train(spec, key)
+	tm, err := s.train(ctx, spec, key)
 	if err != nil {
 		return nil, fmt.Errorf("core: run %s on %v under %v: %w", spec.settingsLabel(), spec.Data, spec.Framework, err)
 	}
 	s.mu.Lock()
 	s.models[key] = tm
 	s.mu.Unlock()
-	return tm, nil
-}
-
-// train performs the actual scaled training run.
-func (s *Suite) train(spec RunSpec, key modelKey) (*trainedModel, error) {
-	// Everything the run records between these two snapshots becomes the
-	// run's telemetry delta on its RunResult.
-	telemetryBefore := s.Obs.Snapshot()
-	runSpan := s.Obs.Span("suite.run", "suite")
-	defer runSpan.End()
-	defaults, err := framework.Defaults(spec.SettingsFW, spec.SettingsDS)
-	if err != nil {
-		return nil, err
-	}
-	defaults, dropRate := effectiveDefaults(spec.Framework, defaults)
-	in, err := framework.InputFor(spec.Data)
-	if err != nil {
-		return nil, err
-	}
-	rng := tensor.NewRNG(s.seedFor(key))
-	net, err := framework.BuildNetwork(spec.SettingsFW, spec.SettingsDS, in, framework.NetworkOptions{
-		Device:      key.variant,
-		DropoutRate: dropRate,
-		RNG:         rng.Split(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := nn.InitNetwork(net, defaults.Init, rng.Split()); err != nil {
-		return nil, err
-	}
-	exec, err := framework.NewTracedExecutor(spec.Framework, net, defaults.BatchSize, s.Obs)
-	if err != nil {
-		return nil, err
-	}
-	trainSet, testSet, err := s.Datasets(spec.Data)
-	if err != nil {
-		return nil, err
-	}
-
-	// Input preprocessing follows the executing framework's data pipeline
-	// for the dataset (see framework.PreprocessingFor) — settings tuned
-	// against one pipeline can explode on another, which is the paper's
-	// Figure 5 mechanism.
-	prep := framework.PreprocessingFor(spec.Framework, spec.Data)
-
-	// Settings that train on a corpus subset (Torch's CIFAR-10 tutorial)
-	// keep the same subset fraction at reproduction scale.
-	if frac := subsetFraction(defaults, spec.Data); frac < 1 {
-		n := int(frac * float64(trainSet.Len()))
-		if n < defaults.BatchSize {
-			n = defaults.BatchSize
-		}
-		if n < trainSet.Len() {
-			sub, err := trainSet.Subset(n)
-			if err != nil {
-				return nil, err
-			}
-			trainSet = sub
-		}
-	}
-
-	epochs := s.scaledEpochs(defaults, spec.Data)
-	itersPerEpoch := (trainSet.Len() + defaults.BatchSize - 1) / defaults.BatchSize
-	totalIters := epochs * itersPerEpoch
-	opt, err := defaults.NewOptimizer(net.Params(), totalIters)
-	if err != nil {
-		return nil, err
-	}
-	batches, err := data.NewBatches(trainSet, defaults.BatchSize, rng.Split())
-	if err != nil {
-		return nil, err
-	}
-
-	lossEvery := totalIters / s.scale.LossPoints
-	if lossEvery < 1 {
-		lossEvery = 1
-	}
-	tm := &trainedModel{
-		net:          net,
-		epochs:       epochs,
-		iters:        totalIters,
-		flopsPerSamp: net.FLOPsPerSample(),
-		trainDisp:    exec.Stats().TrainDispatches,
-		inferDisp:    exec.Stats().InferDispatches,
-	}
-	s.progress("train %-14s on %-8s under %-10s (%s, %d epochs, %d iters)",
-		spec.settingsLabel(), spec.Data, spec.Framework, spec.Device, epochs, totalIters)
-	batches.SetObs(s.Obs)
-	lossGauge := s.Obs.Gauge("suite.loss")
-	iterCount := s.Obs.Counter("suite.iterations")
-
-	trainSpan := s.Obs.Span("suite.train", "suite")
-	start := time.Now()
-	var lastLoss float64
-	epochSpan := s.Obs.Span("suite.epoch", "suite")
-	for it := 0; it < totalIters; it++ {
-		if it > 0 && it%itersPerEpoch == 0 {
-			epochSpan.End()
-			epochSpan = s.Obs.Span("suite.epoch", "suite")
-		}
-		iterSpan := s.Obs.Span("suite.iter", "suite")
-		x, labels, err := batches.Next()
-		if err != nil {
-			iterSpan.End()
-			epochSpan.End()
-			trainSpan.End()
-			return nil, err
-		}
-		framework.ApplyPreprocessingObs(prep, x, s.Obs)
-		res, err := exec.TrainBatch(x, labels)
-		if err == nil {
-			update := s.Obs.Span("suite.update", "suite")
-			err = opt.Step()
-			update.End()
-		}
-		iterSpan.End()
-		if err != nil {
-			epochSpan.End()
-			trainSpan.End()
-			return nil, err
-		}
-		lastLoss = res.Loss
-		lossGauge.Set(res.Loss)
-		iterCount.Inc()
-		if it%lossEvery == 0 || it == totalIters-1 {
-			tm.lossHistory = append(tm.lossHistory, metrics.LossPoint{Iteration: it, Loss: res.Loss})
-		}
-	}
-	epochSpan.End()
-	trainSpan.End()
-	tm.trainWall = time.Since(start).Seconds()
-	tm.finalLoss = lastLoss
-
-	// Evaluate.
-	evalSpan := s.Obs.Span("suite.eval", "suite")
-	evalStart := time.Now()
-	conf, err := metrics.NewConfusion(testSet.Classes)
-	if err != nil {
-		evalSpan.End()
-		return nil, err
-	}
-	for lo := 0; lo < testSet.Len(); lo += evalBatchSize {
-		hi := lo + evalBatchSize
-		if hi > testSet.Len() {
-			hi = testSet.Len()
-		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
-		}
-		x, labels, err := testSet.Slice(idx)
-		if err != nil {
-			evalSpan.End()
-			return nil, err
-		}
-		framework.ApplyPreprocessingObs(prep, x, s.Obs)
-		preds, err := exec.Predict(x)
-		if err != nil {
-			evalSpan.End()
-			return nil, err
-		}
-		for i, p := range preds {
-			if err := conf.Add(labels[i], p); err != nil {
-				evalSpan.End()
-				return nil, err
-			}
-		}
-	}
-	evalSpan.End()
-	tm.testWall = time.Since(evalStart).Seconds()
-	tm.testConfusion = conf
-	tm.accuracyPct = conf.Accuracy()
-	s.Obs.Gauge("suite.accuracy_pct").Set(tm.accuracyPct)
-	// The model goes dormant in the suite cache; drop its large per-batch
-	// buffers (they are rebuilt transparently if the model is reused for
-	// adversarial attacks).
-	net.ReleaseBuffers()
-
-	// Convergence: a run "converged" when it trained into a model that is
-	// meaningfully better than chance with a finite, unclamped loss. A
-	// diverged run (the paper's Caffe-on-CIFAR cases) either pins the
-	// loss at the clamp or kills the network into near-random accuracy.
-	chance := 100.0 / float64(testSet.Classes)
-	tm.converged = !math.IsNaN(lastLoss) && !math.IsInf(lastLoss, 0) &&
-		lastLoss < nn.CaffeLossClamp*0.99 &&
-		tm.accuracyPct >= 2.5*chance
-	s.progress("  -> accuracy %.2f%% loss %.4f converged=%v wall %.1fs",
-		tm.accuracyPct, tm.finalLoss, tm.converged, tm.trainWall)
-	tm.telemetry = obs.Delta(telemetryBefore, s.Obs.Snapshot())
 	return tm, nil
 }

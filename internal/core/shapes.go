@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -201,7 +202,7 @@ func Claims() []Claim {
 			ID:    "fig5-loss-clamp",
 			Paper: "Caffe+MNIST settings on CIFAR-10: loss pinned at the ≈87.34 clamp; CIFAR settings converge (Fig. 5)",
 			Check: func(s *Suite) (bool, string, error) {
-				res, err := s.CaffeConvergence()
+				res, err := s.CaffeConvergence(context.Background())
 				if err != nil {
 					return false, "", err
 				}
@@ -279,7 +280,7 @@ func Claims() []Claim {
 			ID:    "fig8-tf-more-robust",
 			Paper: "FGSM succeeds more often against the Caffe model than the TF model (Fig. 8c)",
 			Check: func(s *Suite) (bool, string, error) {
-				res, err := s.UntargetedRobustness()
+				res, err := s.UntargetedRobustness(context.Background())
 				if err != nil {
 					return false, "", err
 				}
@@ -291,7 +292,7 @@ func Claims() []Claim {
 			ID:    "table9-feature-maps",
 			Paper: "More feature maps and dropout increase JSMA robustness: Caffe(Caffe) most vulnerable (Table IX)",
 			Check: func(s *Suite) (bool, string, error) {
-				res, err := s.TargetedRobustness(1)
+				res, err := s.TargetedRobustness(context.Background(), 1)
 				if err != nil {
 					return false, "", err
 				}
@@ -315,7 +316,7 @@ func Claims() []Claim {
 			ID:    "table8-crafting-cost",
 			Paper: "Crafting is faster against TF than Caffe, and faster with smaller feature maps (Table VIII)",
 			Check: func(s *Suite) (bool, string, error) {
-				res, err := s.TargetedRobustness(1)
+				res, err := s.TargetedRobustness(context.Background(), 1)
 				if err != nil {
 					return false, "", err
 				}

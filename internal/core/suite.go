@@ -27,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // RunSpec identifies one cell of the configuration matrix.
@@ -52,6 +53,15 @@ func (s RunSpec) settingsLabel() string {
 	return s.SettingsFW.Short() + " " + s.SettingsDS.String()
 }
 
+// CellKey names the spec's unique training computation — the unit of
+// checkpointing, fault targeting and failure isolation. Two specs that
+// share a cached model (CPU/GPU rows of a device-independent
+// configuration) share a cell key; the key is stable across processes so
+// -resume finds the right checkpoint.
+func (s RunSpec) CellKey() string {
+	return s.Framework.Short() + " " + s.settingsLabel() + " on " + s.Data.String() + " @" + variantFor(s).String()
+}
+
 // Suite runs the benchmark matrix at a fixed scale with a fixed master
 // seed. It caches synthetic datasets and trained models so experiments
 // sharing a configuration (e.g. Figure 1 and Table VI) train once.
@@ -73,6 +83,26 @@ type Suite struct {
 	// attached to each RunResult. Nil (the default) disables the entire
 	// instrumentation layer at negligible cost.
 	Obs *obs.Tracer
+
+	// Resilience configures fault-tolerant training: the in-training
+	// divergence guard, checkpoint rollback and the bounded retry loop.
+	// The zero value disables all of it, preserving the legacy fail-open
+	// behavior (a diverged run trains to completion and is reported via
+	// its Converged flag).
+	Resilience resilience.Policy
+
+	// Checkpoints, when non-nil, persists periodic training checkpoints
+	// to disk (one file per cell) so a killed sweep can be resumed.
+	Checkpoints *resilience.Store
+
+	// Resume makes training runs continue from their on-disk checkpoint
+	// (when one exists in Checkpoints) instead of starting fresh.
+	Resume bool
+
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// harness for matching cells. Nil costs the training loop a pointer
+	// test and leaves executor op hooks uninstalled.
+	Faults *resilience.Plan
 }
 
 // modelKey identifies a unique training computation. Device enters the key

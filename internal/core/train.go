@@ -1,0 +1,511 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/engine"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/optim"
+	"repro/internal/resilience"
+	"repro/internal/tensor"
+)
+
+// trainingRun is the mutable state of one training computation while it
+// is in flight: everything a checkpoint must capture and a rollback must
+// restore.
+type trainingRun struct {
+	spec     RunSpec
+	cell     string
+	defaults framework.TrainingDefaults
+	prep     framework.Preprocessing
+	net      *nn.Network
+	exec     engine.Executor
+	opt      optim.Optimizer
+	batches  *data.Batches
+
+	totalIters    int
+	itersPerEpoch int
+	lossEvery     int
+
+	// Resilience state.
+	policy     resilience.Policy
+	injector   *resilience.Injector
+	faultsSeen int64
+	attempt    int
+	lrScale    float64
+	mem        *resilience.Checkpoint // last checkpoint (rollback target)
+
+	lastLoss    float64
+	lossHistory []metrics.LossPoint
+	// trainWall accumulates training wall time across attempts.
+	trainWall float64
+}
+
+// train performs the actual scaled training run, with the resilience
+// layer (divergence guard, checkpoint rollback, bounded retries) active
+// when the suite's policy enables it.
+func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trainedModel, error) {
+	// Everything the run records between these two snapshots becomes the
+	// run's telemetry delta on its RunResult.
+	telemetryBefore := s.Obs.Snapshot()
+	runSpan := s.Obs.Span("suite.run", "suite")
+	defer runSpan.End()
+	defaults, err := framework.Defaults(spec.SettingsFW, spec.SettingsDS)
+	if err != nil {
+		return nil, err
+	}
+	defaults, dropRate := effectiveDefaults(spec.Framework, defaults)
+	in, err := framework.InputFor(spec.Data)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(s.seedFor(key))
+	net, err := framework.BuildNetwork(spec.SettingsFW, spec.SettingsDS, in, framework.NetworkOptions{
+		Device:      key.variant,
+		DropoutRate: dropRate,
+		RNG:         rng.Split(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.InitNetwork(net, defaults.Init, rng.Split()); err != nil {
+		return nil, err
+	}
+	exec, err := framework.NewTracedExecutor(spec.Framework, net, defaults.BatchSize, s.Obs)
+	if err != nil {
+		return nil, err
+	}
+	trainSet, testSet, err := s.Datasets(spec.Data)
+	if err != nil {
+		return nil, err
+	}
+
+	// Input preprocessing follows the executing framework's data pipeline
+	// for the dataset (see framework.PreprocessingFor) — settings tuned
+	// against one pipeline can explode on another, which is the paper's
+	// Figure 5 mechanism.
+	prep := framework.PreprocessingFor(spec.Framework, spec.Data)
+
+	// Settings that train on a corpus subset (Torch's CIFAR-10 tutorial)
+	// keep the same subset fraction at reproduction scale.
+	if frac := subsetFraction(defaults, spec.Data); frac < 1 {
+		n := int(frac * float64(trainSet.Len()))
+		if n < defaults.BatchSize {
+			n = defaults.BatchSize
+		}
+		if n < trainSet.Len() {
+			sub, err := trainSet.Subset(n)
+			if err != nil {
+				return nil, err
+			}
+			trainSet = sub
+		}
+	}
+
+	epochs := s.scaledEpochs(defaults, spec.Data)
+	itersPerEpoch := (trainSet.Len() + defaults.BatchSize - 1) / defaults.BatchSize
+	totalIters := epochs * itersPerEpoch
+	opt, err := defaults.NewOptimizer(net.Params(), totalIters)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := data.NewBatches(trainSet, defaults.BatchSize, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	lossEvery := totalIters / s.scale.LossPoints
+	if lossEvery < 1 {
+		lossEvery = 1
+	}
+	r := &trainingRun{
+		spec:          spec,
+		cell:          spec.CellKey(),
+		defaults:      defaults,
+		prep:          prep,
+		net:           net,
+		exec:          exec,
+		opt:           opt,
+		batches:       batches,
+		totalIters:    totalIters,
+		itersPerEpoch: itersPerEpoch,
+		lossEvery:     lossEvery,
+		policy:        s.Resilience.WithDefaults(),
+		lrScale:       1,
+	}
+	// Arm the fault harness for this cell. The injector doubles as the
+	// executor's op hook; when no fault targets the cell the hook stays
+	// uninstalled and the executors keep their nil-check fast path.
+	if r.injector = s.Faults.For(r.cell); r.injector != nil {
+		exec.SetOpHook(r.injector.OpError)
+	}
+
+	tm := &trainedModel{
+		net:          net,
+		epochs:       epochs,
+		iters:        totalIters,
+		flopsPerSamp: net.FLOPsPerSample(),
+		trainDisp:    exec.Stats().TrainDispatches,
+		inferDisp:    exec.Stats().InferDispatches,
+	}
+	s.progress("train %-14s on %-8s under %-10s (%s, %d epochs, %d iters)",
+		spec.settingsLabel(), spec.Data, spec.Framework, spec.Device, epochs, totalIters)
+	batches.SetObs(s.Obs)
+
+	if err := s.trainResilient(ctx, r); err != nil {
+		return nil, err
+	}
+	tm.lossHistory = r.lossHistory
+	tm.finalLoss = r.lastLoss
+
+	// Evaluate.
+	evalSpan := s.Obs.Span("suite.eval", "suite")
+	evalStart := time.Now()
+	conf, err := metrics.NewConfusion(testSet.Classes)
+	if err != nil {
+		evalSpan.End()
+		return nil, err
+	}
+	for lo := 0; lo < testSet.Len(); lo += evalBatchSize {
+		hi := lo + evalBatchSize
+		if hi > testSet.Len() {
+			hi = testSet.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, labels, err := testSet.Slice(idx)
+		if err != nil {
+			evalSpan.End()
+			return nil, err
+		}
+		framework.ApplyPreprocessingObs(prep, x, s.Obs)
+		preds, err := exec.Predict(ctx, x)
+		if err != nil {
+			evalSpan.End()
+			return nil, err
+		}
+		for i, p := range preds {
+			if err := conf.Add(labels[i], p); err != nil {
+				evalSpan.End()
+				return nil, err
+			}
+		}
+	}
+	evalSpan.End()
+	tm.testWall = time.Since(evalStart).Seconds()
+	tm.trainWall = r.trainWall
+	tm.testConfusion = conf
+	tm.accuracyPct = conf.Accuracy()
+	s.Obs.Gauge("suite.accuracy_pct").Set(tm.accuracyPct)
+	// The model goes dormant in the suite cache; drop its large per-batch
+	// buffers (they are rebuilt transparently if the model is reused for
+	// adversarial attacks).
+	net.ReleaseBuffers()
+
+	// Convergence: a run "converged" when it trained into a model that is
+	// meaningfully better than chance with a finite, unclamped loss. A
+	// diverged run (the paper's Caffe-on-CIFAR cases) either pins the
+	// loss at the clamp or kills the network into near-random accuracy.
+	chance := 100.0 / float64(testSet.Classes)
+	tm.converged = !math.IsNaN(r.lastLoss) && !math.IsInf(r.lastLoss, 0) &&
+		r.lastLoss < nn.CaffeLossClamp*0.99 &&
+		tm.accuracyPct >= 2.5*chance
+	s.progress("  -> accuracy %.2f%% loss %.4f converged=%v wall %.1fs",
+		tm.accuracyPct, tm.finalLoss, tm.converged, tm.trainWall)
+	tm.telemetry = obs.Delta(telemetryBefore, s.Obs.Snapshot())
+	return tm, nil
+}
+
+// trainWall is tracked on the run so retries accumulate into one number.
+func (r *trainingRun) addWall(d time.Duration) { r.trainWall += d.Seconds() }
+
+// trainResilient drives the attempt loop around runIters: classify the
+// failure, roll back to the last checkpoint, decay the learning rate on
+// divergence, back off, and retry within the policy's budget. With the
+// zero policy and no faults or checkpoints configured, it is exactly one
+// runIters call with no checkpoint captures.
+func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
+	policy := r.policy
+	guard := s.Resilience.Enabled()
+	useCkpt := guard || s.Checkpoints != nil || s.Resume
+	every := policy.CheckpointPeriod(r.totalIters)
+
+	startIter := 0
+	if s.Resume {
+		cp, found, err := s.Checkpoints.Load(r.cell)
+		if err != nil {
+			return err
+		}
+		if found {
+			r.lrScale = cp.LRScale
+			r.attempt = cp.Attempt
+			if err := s.rollback(r, cp); err != nil {
+				return fmt.Errorf("resume %s: %w", r.cell, err)
+			}
+			startIter = cp.Iteration
+			r.mem = cp
+			s.Obs.Counter(resilience.CounterResumes).Inc()
+			s.progress("  resume %s from checkpoint at iteration %d/%d", r.cell, startIter, r.totalIters)
+		}
+	}
+	if useCkpt && r.mem == nil {
+		cp, err := s.capture(r, 0)
+		if err != nil {
+			return err
+		}
+		r.mem = cp
+		if err := s.Checkpoints.Save(cp); err != nil {
+			return err
+		}
+		s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+	}
+
+	recovered := false
+	for {
+		err := s.runIters(ctx, r, startIter, useCkpt, every)
+		s.syncFaultCounter(r)
+		if err == nil {
+			break
+		}
+		// Cancellation and simulated process kills surface immediately:
+		// neither is recoverable in-process (the crash fault exists to
+		// exercise -resume after losing the process).
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		if errors.Is(err, resilience.ErrInjectedCrash) {
+			return err
+		}
+		diverged := errors.Is(err, resilience.ErrDiverged)
+		if diverged {
+			s.Obs.Counter(resilience.CounterDivergences).Inc()
+		}
+		if errors.Is(err, engine.ErrPanic) {
+			s.Obs.Counter(resilience.CounterPanics).Inc()
+		}
+		if !guard {
+			return err
+		}
+		// Only failures the resilience layer understands are retried;
+		// configuration and I/O errors surface as-is.
+		if !diverged && !errors.Is(err, resilience.ErrInjected) && !errors.Is(err, engine.ErrPanic) {
+			return err
+		}
+		if r.attempt >= policy.MaxRetries {
+			return fmt.Errorf("%w after %d attempts: %w", resilience.ErrRetriesExhausted, r.attempt+1, err)
+		}
+		r.attempt++
+		s.Obs.Counter(resilience.CounterRetries).Inc()
+		if diverged {
+			// Divergence is a step-size pathology: retry from the last
+			// good state with a decayed learning rate. Injected op faults
+			// and panics are transient; the same rate is kept.
+			r.lrScale *= policy.LRDecay
+		}
+		s.progress("  recover %s: attempt %d/%d from iteration %d (lr scale %.3g): %v",
+			r.cell, r.attempt, policy.MaxRetries, r.mem.Iteration, r.lrScale, err)
+		if err := s.rollback(r, r.mem); err != nil {
+			return err
+		}
+		s.Obs.Counter(resilience.CounterRollbacks).Inc()
+		startIter = r.mem.Iteration
+		recovered = true
+		if err := resilience.Sleep(ctx, resilience.Backoff(r.attempt-1, policy.BackoffBase, policy.BackoffMax)); err != nil {
+			return err
+		}
+	}
+	if recovered {
+		s.Obs.Counter(resilience.CounterRecoveries).Inc()
+	}
+	// A completed run leaves a final checkpoint so an interrupted matrix
+	// resumed later skips straight past it.
+	if s.Checkpoints != nil {
+		cp, err := s.capture(r, r.totalIters)
+		if err != nil {
+			return err
+		}
+		if err := s.Checkpoints.Save(cp); err != nil {
+			return err
+		}
+		s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+	}
+	return nil
+}
+
+// runIters runs training iterations [startIter, totalIters), capturing a
+// checkpoint every `every` iterations when useCkpt is set.
+func (s *Suite) runIters(ctx context.Context, r *trainingRun, startIter int, useCkpt bool, every int) (err error) {
+	guard := r.policy.Enabled()
+	lossGauge := s.Obs.Gauge("suite.loss")
+	iterCount := s.Obs.Counter("suite.iterations")
+	trainSpan := s.Obs.Span("suite.train", "suite")
+	start := time.Now()
+	defer func() { r.addWall(time.Since(start)) }()
+	defer trainSpan.End()
+	epochSpan := s.Obs.Span("suite.epoch", "suite")
+	defer func() { epochSpan.End() }()
+	for it := startIter; it < r.totalIters; it++ {
+		// Cancellation is observed at iteration granularity here and at
+		// phase granularity inside the executors.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if it > startIter && it%r.itersPerEpoch == 0 {
+			epochSpan.End()
+			epochSpan = s.Obs.Span("suite.epoch", "suite")
+		}
+		r.injector.BeginIteration(it)
+		if err := r.injector.Crash(); err != nil {
+			return err
+		}
+		iterSpan := s.Obs.Span("suite.iter", "suite")
+		x, labels, err := r.batches.Next()
+		if err != nil {
+			iterSpan.End()
+			return err
+		}
+		r.injector.CorruptBatch(x)
+		framework.ApplyPreprocessingObs(r.prep, x, s.Obs)
+		res, err := r.exec.TrainBatch(ctx, x, labels)
+		if err == nil {
+			if v, fired := r.injector.PoisonLoss(res.Loss); fired {
+				res.Loss = v
+			}
+			if guard {
+				err = resilience.CheckLoss(it, res.Loss)
+				if err == nil {
+					err = resilience.CheckGrads(it, r.net.Params())
+				}
+			}
+		}
+		if err == nil {
+			update := s.Obs.Span("suite.update", "suite")
+			err = r.opt.Step()
+			update.End()
+		}
+		iterSpan.End()
+		if err != nil {
+			return err
+		}
+		r.lastLoss = res.Loss
+		lossGauge.Set(res.Loss)
+		iterCount.Inc()
+		if it%r.lossEvery == 0 || it == r.totalIters-1 {
+			r.lossHistory = append(r.lossHistory, metrics.LossPoint{Iteration: it, Loss: res.Loss})
+		}
+		if useCkpt && (it+1)%every == 0 && it+1 < r.totalIters {
+			cp, err := s.capture(r, it+1)
+			if err != nil {
+				return err
+			}
+			r.mem = cp
+			if err := s.Checkpoints.Save(cp); err != nil {
+				return err
+			}
+			s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+		}
+	}
+	return nil
+}
+
+// syncFaultCounter folds newly fired injections into the obs counter.
+func (s *Suite) syncFaultCounter(r *trainingRun) {
+	if r.injector == nil {
+		return
+	}
+	if fired := r.injector.Injected(); fired > r.faultsSeen {
+		s.Obs.Counter(resilience.CounterFaultsInjected).Add(fired - r.faultsSeen)
+		r.faultsSeen = fired
+	}
+}
+
+// capture snapshots the run after `iteration` completed iterations: the
+// weights (via the nn snapshot format), the optimizer state, the batch
+// iterator, the dropout mask RNGs and the loss record. Restoring the
+// snapshot replays the continuation bit-identically.
+func (s *Suite) capture(r *trainingRun, iteration int) (*resilience.Checkpoint, error) {
+	var buf bytes.Buffer
+	if err := nn.SaveParams(&buf, r.net); err != nil {
+		return nil, err
+	}
+	cp := &resilience.Checkpoint{
+		Cell:      r.cell,
+		Iteration: iteration,
+		Attempt:   r.attempt,
+		LRScale:   r.lrScale,
+		Params:    buf.Bytes(),
+		Batches:   r.batches.State(),
+		LastLoss:  r.lastLoss,
+	}
+	if c, ok := r.opt.(optim.Checkpointable); ok {
+		cp.Optim = c.CaptureState()
+	}
+	for _, l := range r.net.Layers() {
+		if d, ok := l.(*nn.Dropout); ok && d.RNG() != nil {
+			cp.DropoutRNGs = append(cp.DropoutRNGs, d.RNG().State())
+		}
+	}
+	for _, p := range r.lossHistory {
+		cp.LossIters = append(cp.LossIters, p.Iteration)
+		cp.LossValues = append(cp.LossValues, p.Loss)
+	}
+	return cp, nil
+}
+
+// rollback restores the run to a checkpoint. The optimizer is rebuilt so
+// the (possibly decayed) learning-rate scale in r.lrScale takes effect,
+// then its momentum/moment state is restored; gradients are cleared in
+// case the failure left a partial backward pass accumulated.
+func (s *Suite) rollback(r *trainingRun, cp *resilience.Checkpoint) error {
+	if err := nn.LoadParams(bytes.NewReader(cp.Params), r.net); err != nil {
+		return err
+	}
+	for _, p := range r.net.Params() {
+		p.ZeroGrad()
+	}
+	opt, err := r.defaults.NewOptimizerLR(r.net.Params(), r.totalIters, r.lrScale)
+	if err != nil {
+		return err
+	}
+	if c, ok := opt.(optim.Checkpointable); ok {
+		if err := c.RestoreState(cp.Optim); err != nil {
+			return err
+		}
+	}
+	r.opt = opt
+	if err := r.batches.Restore(cp.Batches); err != nil {
+		return err
+	}
+	i := 0
+	for _, l := range r.net.Layers() {
+		d, ok := l.(*nn.Dropout)
+		if !ok || d.RNG() == nil {
+			continue
+		}
+		if i >= len(cp.DropoutRNGs) {
+			return fmt.Errorf("%w: checkpoint has %d dropout RNG states, network needs more", resilience.ErrCheckpoint, len(cp.DropoutRNGs))
+		}
+		d.RNG().Restore(cp.DropoutRNGs[i])
+		i++
+	}
+	if i != len(cp.DropoutRNGs) {
+		return fmt.Errorf("%w: checkpoint has %d dropout RNG states, network has %d dropout layers", resilience.ErrCheckpoint, len(cp.DropoutRNGs), i)
+	}
+	r.lossHistory = r.lossHistory[:0]
+	for j, iter := range cp.LossIters {
+		r.lossHistory = append(r.lossHistory, metrics.LossPoint{Iteration: iter, Loss: cp.LossValues[j]})
+	}
+	r.lastLoss = cp.LastLoss
+	return nil
+}

@@ -176,6 +176,56 @@ func (b *Batches) Next() (*tensor.Tensor, []int, error) {
 	return x, labels, err
 }
 
+// BatchState is the resumable position of a Batches iterator: the epoch
+// count, the offset into the current epoch's order, the order itself, and
+// the shuffler RNG state (so subsequent epochs reshuffle identically to an
+// uninterrupted run). It is captured for training checkpoints.
+type BatchState struct {
+	Epoch int
+	Pos   int
+	Order []int
+	// HasRNG distinguishes a shuffling iterator from sequential order.
+	HasRNG bool
+	RNG    tensor.RNGState
+}
+
+// State captures the iterator's current position.
+func (b *Batches) State() BatchState {
+	st := BatchState{
+		Epoch: b.epoch,
+		Pos:   b.pos,
+		Order: append([]int(nil), b.order...),
+	}
+	if b.rng != nil {
+		st.HasRNG = true
+		st.RNG = b.rng.State()
+	}
+	return st
+}
+
+// Restore rewinds the iterator to a previously captured position. The
+// iterator must wrap a dataset of the same length and the same shuffling
+// mode as the one the state was captured from.
+func (b *Batches) Restore(st BatchState) error {
+	if len(st.Order) != b.ds.Len() {
+		return fmt.Errorf("%w: batch state order has %d entries, dataset %q has %d",
+			ErrConfig, len(st.Order), b.ds.Name, b.ds.Len())
+	}
+	if st.HasRNG != (b.rng != nil) {
+		return fmt.Errorf("%w: batch state shuffling mode mismatch for %q", ErrConfig, b.ds.Name)
+	}
+	if st.Pos < 0 || st.Pos > len(st.Order) {
+		return fmt.Errorf("%w: batch state position %d out of range", ErrConfig, st.Pos)
+	}
+	b.epoch = st.Epoch
+	b.pos = st.Pos
+	b.order = append([]int(nil), st.Order...)
+	if b.rng != nil {
+		b.rng.Restore(st.RNG)
+	}
+	return nil
+}
+
 // PixelEntropy estimates the mean per-pixel Shannon entropy of the dataset
 // in bits, using a 32-bin histogram over [0,1] pixel intensities. The
 // paper attributes MNIST's learnability to its low entropy; this metric

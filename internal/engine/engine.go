@@ -24,7 +24,9 @@
 package engine
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -33,6 +35,12 @@ import (
 // ErrNilNetwork is returned when an executor is constructed without a
 // network.
 var ErrNilNetwork = errors.New("engine: nil network")
+
+// ErrPanic wraps a panic recovered inside an executor's dispatch path.
+// Panics in op kernels (including panics raised out of tensor worker
+// goroutines) are converted into returned errors so one bad op cannot take
+// down a whole benchmark sweep; callers match with errors.Is.
+var ErrPanic = errors.New("engine: recovered panic")
 
 // CatEngine is the obs span category used by all executor spans.
 const CatEngine = "engine"
@@ -72,7 +80,17 @@ type Stats struct {
 	TreeDepth int
 }
 
-// Executor schedules a network for training and inference.
+// OpHook is invoked before each op dispatch with the dispatch site (e.g.
+// "graph.forward", "module.backward"). A non-nil return aborts the batch
+// with that error. The resilience layer installs hooks to inject
+// deterministic op faults and latency; a nil hook (the default) reduces
+// the per-op cost to a single pointer test.
+type OpHook func(site string) error
+
+// Executor schedules a network for training and inference. All execution
+// entry points take a context: cancellation (timeouts, SIGINT) is observed
+// at phase granularity, so a long sweep stops within one forward/backward
+// pass instead of hanging until the run completes.
 type Executor interface {
 	// Name identifies the executor style ("graph", "layerwise", "module").
 	Name() string
@@ -80,13 +98,33 @@ type Executor interface {
 	Network() *nn.Network
 	// TrainBatch runs one forward/loss/backward iteration, leaving
 	// parameter gradients accumulated for an optimizer step.
-	TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error)
+	TrainBatch(ctx context.Context, x *tensor.Tensor, labels []int) (nn.LossResult, error)
 	// Logits runs an inference forward pass.
-	Logits(x *tensor.Tensor) (*tensor.Tensor, error)
+	Logits(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	// Predict returns argmax class predictions for a batch.
-	Predict(x *tensor.Tensor) ([]int, error)
+	Predict(ctx context.Context, x *tensor.Tensor) ([]int, error)
 	// Stats returns the executor's mechanical cost profile.
 	Stats() Stats
+	// SetOpHook installs (or, with nil, removes) the per-dispatch hook.
+	SetOpHook(OpHook)
+}
+
+// ctxErr returns the context's error, tolerating a nil context (treated as
+// background). The call is a pointer test plus an atomic load when the
+// context is not cancellable — cheap enough for per-phase checks.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// recoverPanic converts a panic in an executor dispatch path into an error
+// wrapping ErrPanic. Used via defer in the public entry points.
+func recoverPanic(style string, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %s executor: %v", ErrPanic, style, r)
+	}
 }
 
 // predict is the shared argmax implementation.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -71,7 +72,7 @@ func TestExecutorEquivalenceProperty(t *testing.T) {
 		var losses []float64
 		var grads [][]float64
 		for _, e := range []Executor{g, lw, mod} {
-			res, err := e.TrainBatch(x.Clone(), labels)
+			res, err := e.TrainBatch(context.Background(), x.Clone(), labels)
 			if err != nil {
 				return false
 			}

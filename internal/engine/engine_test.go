@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestExecutorsAgreeOnLogits(t *testing.T) {
 	rng.FillNormal(x, 0, 1)
 	var ref *tensor.Tensor
 	for name, e := range execs {
-		logits, err := e.Logits(x)
+		logits, err := e.Logits(context.Background(), x)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -91,7 +92,7 @@ func TestExecutorsAgreeOnTraining(t *testing.T) {
 	losses := map[string]float64{}
 	grads := map[string][]float64{}
 	for name, e := range execs {
-		res, err := e.TrainBatch(x, labels)
+		res, err := e.TrainBatch(context.Background(), x, labels)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -122,7 +123,7 @@ func TestExecutorsPredictShape(t *testing.T) {
 	x := tensor.New(5, 1, 10, 10)
 	rng.FillNormal(x, 0, 1)
 	for name, e := range execs {
-		preds, err := e.Predict(x)
+		preds, err := e.Predict(context.Background(), x)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -251,7 +252,7 @@ func TestModuleWithoutFlatten(t *testing.T) {
 	}
 	x := tensor.New(2, 6)
 	rng.FillNormal(x, 0, 1)
-	if _, err := m.Logits(x); err != nil {
+	if _, err := m.Logits(context.Background(), x); err != nil {
 		t.Fatal(err)
 	}
 	if m.Stats().TreeDepth != 3 { // root -> sequential -> leaf

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/nn"
@@ -32,6 +33,7 @@ type GraphExecutor struct {
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
 	dispInfer *obs.Counter
+	hook      OpHook
 }
 
 var _ Executor = (*GraphExecutor)(nil)
@@ -133,23 +135,39 @@ func (g *GraphExecutor) Name() string { return "graph" }
 // Network implements Executor.
 func (g *GraphExecutor) Network() *nn.Network { return g.net }
 
+// SetOpHook implements Executor.
+func (g *GraphExecutor) SetOpHook(h OpHook) { g.hook = h }
+
 // TrainBatch implements Executor.
-func (g *GraphExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels []int) (res nn.LossResult, err error) {
+	defer recoverPanic("graph", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	fwd := g.tr.Span("graph.forward", CatEngine)
 	logits, err := g.run(x, true)
 	fwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
 	}
-	res, err := g.net.Loss(logits, labels)
+	res, err = g.net.Loss(logits, labels)
 	if err != nil {
 		return nn.LossResult{}, err
 	}
 	// Backward walks the schedule in reverse; fusion applies to the
 	// forward kernels only, so every node dispatches its own gradient op.
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	bwd := g.tr.Span("graph.backward", CatEngine)
 	grad := res.Grad
 	for i := len(g.schedule) - 1; i >= 0; i-- {
+		if g.hook != nil {
+			if err := g.hook("graph.backward"); err != nil {
+				bwd.End()
+				return nn.LossResult{}, fmt.Errorf("engine: graph backward dispatch: %w", err)
+			}
+		}
 		n := g.nodes[g.schedule[i]]
 		grad, err = n.layer.Backward(grad)
 		if err != nil {
@@ -172,6 +190,11 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		if n.fusedInto < 0 {
 			dispatched++
 		}
+		if g.hook != nil {
+			if err := g.hook("graph.forward"); err != nil {
+				return nil, fmt.Errorf("engine: graph forward dispatch: %w", err)
+			}
+		}
 		next, err := n.layer.Forward(cur, train)
 		if err != nil {
 			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, n.layer.Name(), err)
@@ -187,15 +210,19 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 }
 
 // Logits implements Executor.
-func (g *GraphExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (g *GraphExecutor) Logits(ctx context.Context, x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer recoverPanic("graph", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return g.run(x, false)
 }
 
 // Predict implements Executor.
-func (g *GraphExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+func (g *GraphExecutor) Predict(ctx context.Context, x *tensor.Tensor) ([]int, error) {
 	sp := g.tr.Span("graph.predict", CatEngine)
 	defer sp.End()
-	logits, err := g.Logits(x)
+	logits, err := g.Logits(ctx, x)
 	if err != nil {
 		return nil, err
 	}

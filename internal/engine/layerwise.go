@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/nn"
@@ -19,6 +20,7 @@ type LayerwiseExecutor struct {
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
 	dispInfer *obs.Counter
+	hook      OpHook
 }
 
 var _ Executor = (*LayerwiseExecutor)(nil)
@@ -66,24 +68,73 @@ func (e *LayerwiseExecutor) Name() string { return "layerwise" }
 // Network implements Executor.
 func (e *LayerwiseExecutor) Network() *nn.Network { return e.net }
 
+// SetOpHook implements Executor.
+func (e *LayerwiseExecutor) SetOpHook(h OpHook) { e.hook = h }
+
+// forward walks the layer chain sequentially — the same computation
+// nn.Network.Forward performs, unrolled so each blob-to-blob layer
+// dispatch passes through the op hook.
+func (e *LayerwiseExecutor) forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	cur := x
+	for _, l := range e.net.Layers() {
+		if e.hook != nil {
+			if err := e.hook("layerwise.forward"); err != nil {
+				return nil, fmt.Errorf("engine: layerwise forward dispatch: %w", err)
+			}
+		}
+		next, err := l.Forward(cur, train)
+		if err != nil {
+			return nil, fmt.Errorf("engine: layerwise forward %q: %w", l.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// backward walks the chain in reverse, mirroring nn.Network.Backward.
+func (e *LayerwiseExecutor) backward(grad *tensor.Tensor) error {
+	layers := e.net.Layers()
+	cur := grad
+	for i := len(layers) - 1; i >= 0; i-- {
+		if e.hook != nil {
+			if err := e.hook("layerwise.backward"); err != nil {
+				return fmt.Errorf("engine: layerwise backward dispatch: %w", err)
+			}
+		}
+		prev, err := layers[i].Backward(cur)
+		if err != nil {
+			return fmt.Errorf("engine: layerwise backward %q: %w", layers[i].Name(), err)
+		}
+		cur = prev
+	}
+	return nil
+}
+
 // TrainBatch implements Executor. The phases are the same
 // forward/loss/backward sequence nn.Network.TrainStep runs, unrolled here
 // so each phase is spanned and its layer dispatches counted.
-func (e *LayerwiseExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+func (e *LayerwiseExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels []int) (res nn.LossResult, err error) {
+	defer recoverPanic("layerwise", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	n := int64(len(e.net.Layers()))
 	fwd := e.tr.Span("layerwise.forward", CatEngine)
-	logits, err := e.net.Forward(x, true)
+	logits, err := e.forward(x, true)
 	fwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
 	}
 	e.dispTrain.Add(n)
-	res, err := e.net.Loss(logits, labels)
+	res, err = e.net.Loss(logits, labels)
 	if err != nil {
 		return nn.LossResult{}, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	bwd := e.tr.Span("layerwise.backward", CatEngine)
-	_, err = e.net.Backward(res.Grad)
+	err = e.backward(res.Grad)
 	bwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
@@ -94,8 +145,12 @@ func (e *LayerwiseExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossR
 }
 
 // Logits implements Executor.
-func (e *LayerwiseExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
-	out, err := e.net.Forward(x, false)
+func (e *LayerwiseExecutor) Logits(ctx context.Context, x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer recoverPanic("layerwise", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out, err = e.forward(x, false)
 	if err != nil {
 		return nil, err
 	}
@@ -104,10 +159,10 @@ func (e *LayerwiseExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Predict implements Executor.
-func (e *LayerwiseExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+func (e *LayerwiseExecutor) Predict(ctx context.Context, x *tensor.Tensor) ([]int, error) {
 	sp := e.tr.Span("layerwise.predict", CatEngine)
 	defer sp.End()
-	logits, err := e.Logits(x)
+	logits, err := e.Logits(ctx, x)
 	if err != nil {
 		return nil, err
 	}

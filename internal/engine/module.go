@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/nn"
@@ -17,9 +18,15 @@ type module struct {
 }
 
 // forward recursively dispatches through the tree, counting leaf and
-// container dispatches like Torch's nn.Sequential updateOutput chain.
-func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int) (*tensor.Tensor, error) {
+// container dispatches like Torch's nn.Sequential updateOutput chain. A
+// non-nil hook is consulted before every module dispatch.
+func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpHook) (*tensor.Tensor, error) {
 	*dispatches++
+	if hook != nil {
+		if err := hook("module.forward"); err != nil {
+			return nil, fmt.Errorf("module %q dispatch: %w", m.name, err)
+		}
+	}
 	if m.layer != nil {
 		out, err := m.layer.Forward(x, train)
 		if err != nil {
@@ -29,7 +36,7 @@ func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int) (*tensor
 	}
 	cur := x
 	for _, c := range m.children {
-		next, err := c.forward(cur, train, dispatches)
+		next, err := c.forward(cur, train, dispatches, hook)
 		if err != nil {
 			return nil, err
 		}
@@ -40,8 +47,13 @@ func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int) (*tensor
 
 // backward recursively dispatches gradients in reverse child order
 // (Torch's updateGradInput/accGradParameters chain).
-func (m *module) backward(grad *tensor.Tensor, dispatches *int) (*tensor.Tensor, error) {
+func (m *module) backward(grad *tensor.Tensor, dispatches *int, hook OpHook) (*tensor.Tensor, error) {
 	*dispatches++
+	if hook != nil {
+		if err := hook("module.backward"); err != nil {
+			return nil, fmt.Errorf("module %q dispatch: %w", m.name, err)
+		}
+	}
 	if m.layer != nil {
 		g, err := m.layer.Backward(grad)
 		if err != nil {
@@ -51,7 +63,7 @@ func (m *module) backward(grad *tensor.Tensor, dispatches *int) (*tensor.Tensor,
 	}
 	cur := grad
 	for i := len(m.children) - 1; i >= 0; i-- {
-		prev, err := m.children[i].backward(cur, dispatches)
+		prev, err := m.children[i].backward(cur, dispatches, hook)
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +119,7 @@ type ModuleExecutor struct {
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
 	dispInfer *obs.Counter
+	hook      OpHook
 }
 
 var _ Executor = (*ModuleExecutor)(nil)
@@ -157,20 +170,27 @@ func NewModule(net *nn.Network, tr *obs.Tracer) (*ModuleExecutor, error) {
 }
 
 // TrainBatch implements Executor.
-func (e *ModuleExecutor) TrainBatch(x *tensor.Tensor, labels []int) (nn.LossResult, error) {
+func (e *ModuleExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels []int) (res nn.LossResult, err error) {
+	defer recoverPanic("module", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	var d int
 	fwd := e.tr.Span("module.forward", CatEngine)
-	logits, err := e.root.forward(x, true, &d)
+	logits, err := e.root.forward(x, true, &d, e.hook)
 	fwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
 	}
-	res, err := e.net.Loss(logits, labels)
+	res, err = e.net.Loss(logits, labels)
 	if err != nil {
 		return nn.LossResult{}, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nn.LossResult{}, err
+	}
 	bwd := e.tr.Span("module.backward", CatEngine)
-	_, err = e.root.backward(res.Grad, &d)
+	_, err = e.root.backward(res.Grad, &d, e.hook)
 	bwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
@@ -187,10 +207,17 @@ func (e *ModuleExecutor) Name() string { return "module" }
 // Network implements Executor.
 func (e *ModuleExecutor) Network() *nn.Network { return e.net }
 
+// SetOpHook implements Executor.
+func (e *ModuleExecutor) SetOpHook(h OpHook) { e.hook = h }
+
 // Logits implements Executor.
-func (e *ModuleExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (e *ModuleExecutor) Logits(ctx context.Context, x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer recoverPanic("module", &err)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	var d int
-	out, err := e.root.forward(x, false, &d)
+	out, err = e.root.forward(x, false, &d, e.hook)
 	if err != nil {
 		return nil, err
 	}
@@ -199,10 +226,10 @@ func (e *ModuleExecutor) Logits(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Predict implements Executor.
-func (e *ModuleExecutor) Predict(x *tensor.Tensor) ([]int, error) {
+func (e *ModuleExecutor) Predict(ctx context.Context, x *tensor.Tensor) ([]int, error) {
 	sp := e.tr.Span("module.predict", CatEngine)
 	defer sp.End()
-	logits, err := e.Logits(x)
+	logits, err := e.Logits(ctx, x)
 	if err != nil {
 		return nil, err
 	}

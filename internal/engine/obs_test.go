@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/obs"
@@ -74,7 +75,7 @@ func TestStatsMatchTracedDispatches(t *testing.T) {
 				t.Fatalf("dispatch counters non-zero before first batch: train=%d infer=%d",
 					trainC.Value(), inferC.Value())
 			}
-			if _, err := e.exec.TrainBatch(x, labels); err != nil {
+			if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := trainC.Value(), int64(stats.TrainDispatches); got != want {
@@ -83,7 +84,7 @@ func TestStatsMatchTracedDispatches(t *testing.T) {
 			if inferC.Value() != 0 {
 				t.Errorf("TrainBatch leaked %d inference dispatches", inferC.Value())
 			}
-			if _, err := e.exec.Logits(x); err != nil {
+			if _, err := e.exec.Logits(context.Background(), x); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := inferC.Value(), int64(stats.InferDispatches); got != want {
@@ -91,7 +92,7 @@ func TestStatsMatchTracedDispatches(t *testing.T) {
 			}
 			// A second iteration doubles the counter — the count is
 			// per-iteration, not amortized.
-			if _, err := e.exec.TrainBatch(x, labels); err != nil {
+			if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
 				t.Fatal(err)
 			}
 			if got, want := trainC.Value(), 2*int64(stats.TrainDispatches); got != want {
@@ -112,7 +113,7 @@ func TestExecutorSpansEmitted(t *testing.T) {
 			}
 			const iters = 3
 			for i := 0; i < iters; i++ {
-				if _, err := e.exec.TrainBatch(x, labels); err != nil {
+				if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -121,7 +122,7 @@ func TestExecutorSpansEmitted(t *testing.T) {
 					t.Errorf("%s%s spans = %d, want %d", name, phase, got, iters)
 				}
 			}
-			if _, err := e.exec.Predict(x); err != nil {
+			if _, err := e.exec.Predict(context.Background(), x); err != nil {
 				t.Fatal(err)
 			}
 			if got := e.tr.Histogram(name + ".predict").Count(); got != 1 {
@@ -148,7 +149,7 @@ func TestGraphFuseSpanEmitted(t *testing.T) {
 func TestNilTracerExecutorsStillWork(t *testing.T) {
 	x, labels := testBatch(5)
 	for name, exec := range executors(t, 11) {
-		res, err := exec.TrainBatch(x, labels)
+		res, err := exec.TrainBatch(context.Background(), x, labels)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

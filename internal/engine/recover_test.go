@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// panicLayer is an identity layer that panics in Forward when armed — it
+// stands in for a numerical kernel hitting an unexpected state.
+type panicLayer struct {
+	armed bool
+}
+
+func (p *panicLayer) Name() string { return "boom" }
+
+func (p *panicLayer) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if p.armed {
+		panic("kernel exploded")
+	}
+	return x, nil
+}
+
+func (p *panicLayer) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) { return gradOut, nil }
+func (p *panicLayer) Params() []*nn.Param                                     { return nil }
+func (p *panicLayer) OutShape(in []int) ([]int, error)                        { return in, nil }
+func (p *panicLayer) FLOPsPerSample(in []int) int64                           { return 0 }
+
+// panicNet is buildNet with a panicLayer spliced in after the pool.
+func panicNet(t *testing.T, seed uint64) (*nn.Network, *panicLayer) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("panicnet", []int{1, 10, 10})
+	conv, err := nn.NewConv2D(nn.Conv2DConfig{Name: "conv1", InC: 1, InH: 10, InW: 10, OutC: 4, Kernel: 3, Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu, err := nn.NewActivation("relu1", nn.ReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := nn.NewDense("fc", 4*8*8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &panicLayer{}
+	if err := net.Add(conv, relu, pl, nn.NewFlatten("flat"), fc); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	return net, pl
+}
+
+func panicExecutors(t *testing.T) map[string]struct {
+	exec  Executor
+	layer *panicLayer
+} {
+	t.Helper()
+	out := make(map[string]struct {
+		exec  Executor
+		layer *panicLayer
+	})
+	gNet, gPanic := panicNet(t, 7)
+	g, err := NewGraph(gNet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["graph"] = struct {
+		exec  Executor
+		layer *panicLayer
+	}{g, gPanic}
+	lNet, lPanic := panicNet(t, 7)
+	lw, err := NewLayerwise(lNet, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["layerwise"] = struct {
+		exec  Executor
+		layer *panicLayer
+	}{lw, lPanic}
+	mNet, mPanic := panicNet(t, 7)
+	m, err := NewModule(mNet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["module"] = struct {
+		exec  Executor
+		layer *panicLayer
+	}{m, mPanic}
+	return out
+}
+
+// TestPanicBecomesError: a panic inside any executor's dispatch path must
+// surface as an error wrapping ErrPanic, not kill the process — satellite
+// (b) of the resilience work.
+func TestPanicBecomesError(t *testing.T) {
+	for name, ex := range panicExecutors(t) {
+		x, labels := testBatch(11)
+		ex.layer.armed = true
+		_, err := ex.exec.TrainBatch(context.Background(), x, labels)
+		if !errors.Is(err, ErrPanic) {
+			t.Errorf("%s: TrainBatch error = %v, want ErrPanic", name, err)
+		}
+		if _, err := ex.exec.Logits(context.Background(), x); !errors.Is(err, ErrPanic) {
+			t.Errorf("%s: Logits error = %v, want ErrPanic", name, err)
+		}
+		if _, err := ex.exec.Predict(context.Background(), x); !errors.Is(err, ErrPanic) {
+			t.Errorf("%s: Predict error = %v, want ErrPanic", name, err)
+		}
+		// Disarmed, the same executor keeps working: the panic did not
+		// wedge internal state.
+		ex.layer.armed = false
+		if _, err := ex.exec.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Errorf("%s: TrainBatch after recovery: %v", name, err)
+		}
+	}
+}
+
+// TestOpHookErrorPropagates: an error returned by the installed OpHook
+// aborts the batch and surfaces unchanged (the fault-injection pathway).
+func TestOpHookErrorPropagates(t *testing.T) {
+	sentinel := errors.New("injected op failure")
+	for name, e := range executors(t, 42) {
+		sites := make(map[string]int)
+		e.SetOpHook(func(site string) error {
+			sites[site]++
+			return nil
+		})
+		x, labels := testBatch(11)
+		if _, err := e.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Fatalf("%s: clean hook broke training: %v", name, err)
+		}
+		if len(sites) == 0 {
+			t.Fatalf("%s: hook never invoked", name)
+		}
+		for site := range sites {
+			wantFwd, wantBwd := name+".forward", name+".backward"
+			if site != wantFwd && site != wantBwd {
+				t.Errorf("%s: unexpected hook site %q", name, site)
+			}
+		}
+		e.SetOpHook(func(site string) error {
+			return fmt.Errorf("%w at %s", sentinel, site)
+		})
+		if _, err := e.TrainBatch(context.Background(), x, labels); !errors.Is(err, sentinel) {
+			t.Errorf("%s: hook error = %v, want sentinel", name, err)
+		}
+		// Clearing the hook restores normal operation.
+		e.SetOpHook(nil)
+		if _, err := e.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Errorf("%s: after clearing hook: %v", name, err)
+		}
+	}
+}
+
+// TestContextCancellationStopsTraining: a cancelled context aborts every
+// entry point with the context's error before (or during) dispatch.
+func TestContextCancellationStopsTraining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, e := range executors(t, 42) {
+		x, labels := testBatch(11)
+		if _, err := e.TrainBatch(ctx, x, labels); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: TrainBatch on cancelled ctx = %v, want context.Canceled", name, err)
+		}
+		if _, err := e.Logits(ctx, x); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Logits on cancelled ctx = %v, want context.Canceled", name, err)
+		}
+		if _, err := e.Predict(ctx, x); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Predict on cancelled ctx = %v, want context.Canceled", name, err)
+		}
+	}
+}

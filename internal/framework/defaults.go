@@ -170,7 +170,14 @@ func (d TrainingDefaults) Schedule(totalIters int) optim.Schedule {
 // NewOptimizer constructs the defaults' optimizer over params for a run of
 // totalIters iterations.
 func (d TrainingDefaults) NewOptimizer(params []*nn.Param, totalIters int) (optim.Optimizer, error) {
-	sched := d.Schedule(totalIters)
+	return d.NewOptimizerLR(params, totalIters, 1)
+}
+
+// NewOptimizerLR is NewOptimizer with every learning rate of the schedule
+// multiplied by lrScale. The resilience layer retries diverged runs with
+// lrScale < 1; lrScale 1 is the unmodified default.
+func (d TrainingDefaults) NewOptimizerLR(params []*nn.Param, totalIters int, lrScale float64) (optim.Optimizer, error) {
+	sched := optim.Scaled(d.Schedule(totalIters), lrScale)
 	switch d.Algorithm {
 	case "adam":
 		return optim.NewAdam(params, optim.AdamConfig{Schedule: sched})

@@ -11,6 +11,11 @@ import (
 // WriteJSON encodes results as indented JSON to w — the machine-readable
 // companion to the text tables.
 func WriteJSON(w io.Writer, results []RunResult) error {
+	if results == nil {
+		// A cancelled sweep can complete zero rows; its partial report
+		// must still be a well-formed (empty) array, not null.
+		results = []RunResult{}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -33,6 +38,7 @@ var csvHeader = []string{
 	"framework", "settings", "dataset", "device",
 	"train_model_s", "train_wall_s", "test_model_s", "test_wall_s",
 	"accuracy_pct", "final_loss", "converged", "epochs",
+	"failed", "error",
 }
 
 // WriteCSV encodes results as CSV (loss histories omitted).
@@ -52,6 +58,8 @@ func WriteCSV(w io.Writer, results []RunResult) error {
 			strconv.FormatFloat(r.FinalLoss, 'f', 6, 64),
 			strconv.FormatBool(r.Converged),
 			strconv.Itoa(r.Epochs),
+			strconv.FormatBool(r.Failed),
+			r.Error,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("metrics: write csv row: %w", err)

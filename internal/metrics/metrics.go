@@ -135,6 +135,12 @@ type RunResult struct {
 	// dispatch counters, loss/accuracy gauges. Nil when observability is
 	// disabled; omitted from JSON in that case.
 	Telemetry *obs.Snapshot `json:",omitempty"`
+	// Failed marks a cell whose training could not be completed (retry
+	// budget exhausted, injected crash, escaped panic); Error carries the
+	// cause. Failed rows keep their identification columns and zero
+	// metrics, so a partially failed matrix still renders.
+	Failed bool   `json:",omitempty"`
+	Error  string `json:",omitempty"`
 }
 
 // LossPoint is one sample of the training-loss curve.

@@ -40,6 +40,11 @@ func (d *Dropout) Name() string { return d.name }
 // Rate returns the configured drop probability.
 func (d *Dropout) Rate() float64 { return d.p }
 
+// RNG exposes the layer's mask generator so training checkpoints can
+// capture and restore its state: resuming a run must draw the same mask
+// sequence an uninterrupted run would have drawn.
+func (d *Dropout) RNG() *tensor.RNG { return d.rng }
+
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
 

@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -50,7 +51,7 @@ func BenchmarkTrainIterationTracerDisabled(b *testing.B) {
 	exec, x, labels := buildIterationWorkload(b, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.TrainBatch(x, labels); err != nil {
+		if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -61,7 +62,7 @@ func BenchmarkTrainIterationTracerEnabled(b *testing.B) {
 	exec, x, labels := buildIterationWorkload(b, obs.New())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exec.TrainBatch(x, labels); err != nil {
+		if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,13 +98,13 @@ func TestDisabledTracerOverheadUnderTwoPercent(t *testing.T) {
 	}
 	exec, x, labels := buildIterationWorkload(t, nil)
 	// Warm up allocator/caches, then time real iterations.
-	if _, err := exec.TrainBatch(x, labels); err != nil {
+	if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
 		t.Fatal(err)
 	}
 	const iters = 10
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, err := exec.TrainBatch(x, labels); err != nil {
+		if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
 			t.Fatal(err)
 		}
 	}

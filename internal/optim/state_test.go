@@ -1,0 +1,119 @@
+package optim
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// stateParams builds a small parameter set with deterministic gradients.
+func stateParams(t *testing.T) []*nn.Param {
+	t.Helper()
+	rng := tensor.NewRNG(3)
+	var params []*nn.Param
+	for i := 0; i < 2; i++ {
+		p := &nn.Param{Name: "p", Value: tensor.New(4, 3), Grad: tensor.New(4, 3), Decay: true}
+		rng.FillNormal(p.Value, 0, 1)
+		params = append(params, p)
+	}
+	return params
+}
+
+func fillGrads(params []*nn.Param, rng *tensor.RNG) {
+	for _, p := range params {
+		rng.FillNormal(p.Grad, 0, 0.1)
+	}
+}
+
+// TestStateRoundTripResumesExactly checks that capture/restore makes a
+// rolled-back optimizer reproduce the exact same trajectory for both
+// algorithms: step k times, capture, step more, restore params+state, and
+// the replayed steps must match bit-for-bit.
+func TestStateRoundTripResumesExactly(t *testing.T) {
+	build := map[string]func(params []*nn.Param) (Checkpointable, error){
+		"sgd": func(params []*nn.Param) (Checkpointable, error) {
+			return NewSGD(params, SGDConfig{Schedule: ConstantSchedule(0.05), Momentum: 0.9, WeightDecay: 1e-4})
+		},
+		"adam": func(params []*nn.Param) (Checkpointable, error) {
+			return NewAdam(params, AdamConfig{Schedule: ConstantSchedule(0.01)})
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			params := stateParams(t)
+			opt, err := mk(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gradRNG := tensor.NewRNG(11)
+			for i := 0; i < 3; i++ {
+				fillGrads(params, gradRNG)
+				if err := opt.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			st := opt.CaptureState()
+			if st.Iteration != 3 {
+				t.Fatalf("captured iteration %d, want 3", st.Iteration)
+			}
+			var paramCopy [][]float64
+			for _, p := range params {
+				paramCopy = append(paramCopy, append([]float64(nil), p.Value.Data()...))
+			}
+			gradState := gradRNG.State()
+			fillGrads(params, gradRNG)
+			if err := opt.Step(); err != nil {
+				t.Fatal(err)
+			}
+			want := append([]float64(nil), params[0].Value.Data()...)
+
+			// Roll back and replay.
+			for i, p := range params {
+				copy(p.Value.Data(), paramCopy[i])
+				p.ZeroGrad()
+			}
+			if err := opt.RestoreState(st); err != nil {
+				t.Fatal(err)
+			}
+			gradRNG.Restore(gradState)
+			fillGrads(params, gradRNG)
+			if err := opt.Step(); err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range params[0].Value.Data() {
+				if v != want[j] {
+					t.Fatalf("replayed step diverged at value %d: %v != %v", j, v, want[j])
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreStateRejectsMismatch verifies shape/algorithm validation.
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	params := stateParams(t)
+	sgd, err := NewSGD(params, SGDConfig{Schedule: ConstantSchedule(0.1), Momentum: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sgd.RestoreState(State{Algorithm: "adam"}); err == nil {
+		t.Fatal("algorithm mismatch accepted")
+	}
+	st := sgd.CaptureState()
+	st.Slots = st.Slots[:1]
+	if err := sgd.RestoreState(st); err == nil {
+		t.Fatal("slot count mismatch accepted")
+	}
+}
+
+// TestScaledSchedule verifies the LR-halving wrapper.
+func TestScaledSchedule(t *testing.T) {
+	base := ConstantSchedule(0.4)
+	if got := Scaled(base, 0.5).At(10); got != 0.2 {
+		t.Fatalf("scaled rate %v, want 0.2", got)
+	}
+	if s := Scaled(base, 1); s != Schedule(base) {
+		t.Fatal("factor 1 should return the inner schedule")
+	}
+}

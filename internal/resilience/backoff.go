@@ -1,0 +1,48 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff returns the delay before retry attempt (0-based): base doubled
+// per attempt, capped at max.
+func Backoff(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			return max
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// Sleep waits for d or until ctx is cancelled, returning the context's
+// error in the latter case so callers abort the retry loop promptly.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if ctx != nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

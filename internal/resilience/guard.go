@@ -1,0 +1,55 @@
+package resilience
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+)
+
+// DivergenceError reports a non-finite training quantity at the iteration
+// that produced it. It matches ErrDiverged under errors.Is.
+type DivergenceError struct {
+	// Iteration is the 0-based training iteration at fault.
+	Iteration int
+	// Quantity names what went non-finite: "loss" or a parameter
+	// gradient's name.
+	Quantity string
+	// Value is the offending value (NaN or ±Inf).
+	Value float64
+}
+
+// Error implements error.
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("resilience: training diverged: %s = %v at iteration %d", e.Quantity, e.Value, e.Iteration)
+}
+
+// Unwrap lets errors.Is match ErrDiverged.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
+
+// CheckLoss fails fast on a non-finite loss, returning a DivergenceError
+// pinned to the offending iteration.
+func CheckLoss(it int, loss float64) error {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return &DivergenceError{Iteration: it, Quantity: "loss", Value: loss}
+	}
+	return nil
+}
+
+// CheckGrads scans every parameter gradient for NaN/Inf. A finite loss
+// can coexist with exploded gradients for an iteration or two (the loss
+// is computed before the backward pass ruins the weights), so the guard
+// checks both.
+func CheckGrads(it int, params []*nn.Param) error {
+	for _, p := range params {
+		if p == nil || p.Grad == nil {
+			continue
+		}
+		for _, v := range p.Grad.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return &DivergenceError{Iteration: it, Quantity: "grad " + p.Name, Value: v}
+			}
+		}
+	}
+	return nil
+}

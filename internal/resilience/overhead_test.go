@@ -1,0 +1,117 @@
+package resilience_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/framework"
+	"repro/internal/nn"
+	"repro/internal/resilience"
+	"repro/internal/tensor"
+)
+
+// buildIterationWorkload mirrors the obs overhead guard's workload: the
+// Caffe LeNet MNIST iteration with no tracer attached.
+func buildIterationWorkload(tb testing.TB) (engine.Executor, *tensor.Tensor, []int) {
+	tb.Helper()
+	in, err := framework.InputFor(framework.MNIST)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	net, err := framework.BuildNetwork(framework.Caffe, framework.MNIST, in, framework.NetworkOptions{Device: device.GPU, DropoutRate: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, tensor.NewRNG(1)); err != nil {
+		tb.Fatal(err)
+	}
+	exec, err := framework.NewTracedExecutor(framework.Caffe, net, 16, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	x := tensor.New(16, 1, 28, 28)
+	rng.FillNormal(x, 0, 1)
+	labels := make([]int, 16)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	return exec, x, labels
+}
+
+// BenchmarkDisabledInjector measures one iteration's worth of disabled
+// fault-harness calls: the nil-injector methods the training loop invokes
+// unconditionally.
+func BenchmarkDisabledInjector(b *testing.B) {
+	var in *resilience.Injector
+	x := tensor.New(1, 4)
+	for i := 0; i < b.N; i++ {
+		in.BeginIteration(i)
+		_ = in.Crash()
+		in.CorruptBatch(x)
+		in.PoisonLoss(1.0)
+	}
+}
+
+// TestDisabledResilienceOverheadUnderTwoPercent is the acceptance guard
+// for the resilience layer's disabled path: with the zero policy, a nil
+// injector and no checkpoint store, the per-iteration additions (nil
+// pointer tests in the training loop, the uninstalled op hook checks in
+// the executors) must cost under 2% of a training iteration — same
+// contract and structure as the obs tracer's overhead guard.
+func TestDisabledResilienceOverheadUnderTwoPercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	exec, x, labels := buildIterationWorkload(t)
+	if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 10
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := exec.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perIter := time.Since(start) / iters
+
+	// Unit cost of the disabled harness calls plus a policy-enabled test
+	// (what runIters does every iteration when resilience is off).
+	var in *resilience.Injector
+	policy := resilience.Policy{}
+	batch := tensor.New(1, 4)
+	const ops = 1_000_000
+	start = time.Now()
+	enabled := 0
+	for i := 0; i < ops; i++ {
+		in.BeginIteration(i)
+		if err := in.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		in.CorruptBatch(batch)
+		in.PoisonLoss(1.0)
+		if policy.Enabled() {
+			enabled++
+		}
+	}
+	perOp := time.Since(start) / ops
+	if enabled != 0 {
+		t.Fatal("zero policy reported enabled")
+	}
+
+	// One iteration performs one bundle of these calls in the training
+	// loop plus a handful of nil op-hook checks per dispatch; charge 100
+	// bundles for two orders of magnitude of headroom.
+	const opsPerIter = 100
+	overhead := perOp * opsPerIter
+	limit := perIter / 50 // 2%
+	t.Logf("iteration %v, disabled harness %v/bundle, %d bundles -> %v overhead (limit %v)",
+		perIter, perOp, opsPerIter, overhead, limit)
+	if overhead > limit {
+		t.Fatalf("disabled resilience overhead %v exceeds 2%% of iteration %v", overhead, perIter)
+	}
+}

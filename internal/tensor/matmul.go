@@ -199,6 +199,11 @@ func gemm(c, a, b []float64, m, k, n int, accumulate bool) {
 
 // parallelRows splits [0, m) into contiguous chunks and runs body on each,
 // using goroutines only when m is large enough to amortize the dispatch.
+//
+// A panic inside a worker goroutine is captured and re-raised on the
+// calling goroutine after all workers finish, so callers (the executors'
+// recover guards) can convert it into an error instead of the runtime
+// killing the whole process.
 func parallelRows(m int, body func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if m < gemmParallelThreshold || workers <= 1 {
@@ -209,7 +214,11 @@ func parallelRows(m int, body func(lo, hi int)) {
 		workers = m
 	}
 	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
 	for lo := 0; lo < m; lo += chunk {
 		hi := lo + chunk
 		if hi > m {
@@ -218,8 +227,16 @@ func parallelRows(m int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

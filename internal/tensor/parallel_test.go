@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelForPanicPropagates verifies that a panic inside a worker
+// goroutine is re-raised on the calling goroutine (where it can be
+// recovered) instead of crashing the process. Before this guard a panic in
+// one worker was unrecoverable by callers.
+func TestParallelForPanicPropagates(t *testing.T) {
+	if runtime.GOMAXPROCS(0) <= 1 {
+		t.Skip("needs >1 proc for the parallel path")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic was not propagated to the caller")
+		}
+	}()
+	// 4 * gemmParallelThreshold rows forces the goroutine fan-out path.
+	ParallelFor(4*gemmParallelThreshold, func(lo, hi int) {
+		if lo == 0 {
+			panic("injected worker panic")
+		}
+	})
+}
+
+// TestParallelForSerialPanic covers the small-n serial path for symmetry.
+func TestParallelForSerialPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("serial panic not propagated")
+		}
+	}()
+	ParallelFor(1, func(lo, hi int) { panic("boom") })
+}
+
+// TestRNGStateRoundTrip verifies that capturing and restoring RNG state
+// resumes the stream exactly, including the Box-Muller spare.
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(7)
+	r.NormFloat64() // leave a spare cached
+	st := r.State()
+	var want []float64
+	for i := 0; i < 16; i++ {
+		want = append(want, r.NormFloat64(), r.Float64())
+	}
+	r.Restore(st)
+	for i := 0; i < 16; i++ {
+		if g := r.NormFloat64(); g != want[2*i] {
+			t.Fatalf("normal deviate %d diverged after restore: %v != %v", i, g, want[2*i])
+		}
+		if g := r.Float64(); g != want[2*i+1] {
+			t.Fatalf("uniform deviate %d diverged after restore", i)
+		}
+	}
+}

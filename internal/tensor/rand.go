@@ -82,6 +82,27 @@ func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xdeadbeefcafef00d)
 }
 
+// RNGState is the full internal state of an RNG, capturable for
+// checkpointing: restoring it resumes the stream exactly where it was
+// captured (including the cached Box-Muller spare).
+type RNGState struct {
+	State    uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// Restore rewinds the generator to a previously captured state.
+func (r *RNG) Restore(st RNGState) {
+	r.state = st.State
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
 // FillUniform fills t with uniform deviates in [lo, hi).
 func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
 	span := hi - lo
