@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/obs"
+	"repro/internal/profile"
+)
+
+// benchConfig parameterizes one `dlbench bench` invocation.
+type benchConfig struct {
+	scale        string
+	seed         uint64
+	outPath      string
+	baselinePath string
+	thresholdPct float64
+}
+
+// errBenchRegression distinguishes a failing comparison (the report is
+// still written) from operational errors.
+var errBenchRegression = fmt.Errorf("benchmark regression past threshold")
+
+// benchSpecs is the canonical benchmark matrix: every framework under its
+// own defaults on both datasets (the paper's baseline cells), GPU-modeled
+// so each (framework, dataset) pair is exactly one training computation.
+func benchSpecs() []core.RunSpec {
+	var specs []core.RunSpec
+	for _, ds := range framework.Datasets {
+		for _, fw := range framework.All {
+			specs = append(specs, core.RunSpec{
+				Framework: fw, SettingsFW: fw, SettingsDS: ds, Data: ds, Device: device.GPU,
+			})
+		}
+	}
+	return specs
+}
+
+// runBench executes the canonical matrix in profiling mode, measures each
+// cell (wall times, throughput, peak sampled heap, top-of-profile ops)
+// and writes the schema-versioned benchmark report to cfg.outPath. When
+// cfg.baselinePath is set the new report is then compared against it and
+// a regression past the threshold is returned as errBenchRegression
+// (after the report and the readable delta table are written). w receives
+// the human-readable output.
+func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.Tracer, sink *progressSink, cfg benchConfig) error {
+	report := &profile.BenchReport{
+		SchemaVersion: profile.BenchSchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Scale:         cfg.scale,
+		Seed:          cfg.seed,
+	}
+	for _, spec := range benchSpecs() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		spansBefore := tracer.SpanCount()
+		tracer.TakePeakHeap()
+		row, err := suite.RunContext(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("bench cell %s: %w", spec.CellKey(), err)
+		}
+		cell := profile.BenchCell{
+			Cell:             spec.CellKey(),
+			TrainWallSeconds: row.Train.WallSeconds,
+			TestWallSeconds:  row.Test.WallSeconds,
+			PeakAllocBytes:   tracer.TakePeakHeap(),
+			AccuracyPct:      row.AccuracyPct,
+		}
+		if row.Telemetry != nil {
+			cell.Iterations = row.Telemetry.Counters["suite.iterations"]
+		}
+		if cell.TrainWallSeconds > 0 {
+			cell.ItersPerSec = float64(cell.Iterations) / cell.TrainWallSeconds
+		}
+		// The cell's attribution profile is built from exactly the spans it
+		// recorded: everything past the pre-run span count.
+		prof := profile.Build(tracer.Spans()[spansBefore:])
+		for _, e := range prof.Top(5) {
+			selfPct := 0.0
+			if prof.WallNS > 0 {
+				selfPct = 100 * float64(e.SelfNS) / float64(prof.WallNS)
+			}
+			cell.TopOps = append(cell.TopOps, profile.BenchOp{
+				Name:        e.Name,
+				SelfSeconds: float64(e.SelfNS) / 1e9,
+				SelfPct:     selfPct,
+			})
+		}
+		report.Cells = append(report.Cells, cell)
+		sink.printf("bench cell %s: train %.2fs, %.1f iters/s, peak %.1f MiB",
+			cell.Cell, cell.TrainWallSeconds, cell.ItersPerSec, float64(cell.PeakAllocBytes)/(1<<20))
+	}
+	f, err := os.Create(cfg.outPath)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", cfg.outPath, err)
+	}
+	if err := profile.WriteBenchReport(f, report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sink.printf("wrote benchmark report (%d cells) to %s", len(report.Cells), cfg.outPath)
+	if cfg.baselinePath == "" {
+		return nil
+	}
+	baseline, err := profile.LoadBenchReport(cfg.baselinePath)
+	if err != nil {
+		return err
+	}
+	return compareReports(w, baseline, report, cfg.thresholdPct)
+}
+
+// runCompare diffs two existing benchmark reports without running
+// anything — the pure comparator behind `dlbench compare`.
+func runCompare(w io.Writer, baselinePath, currentPath string, thresholdPct float64) error {
+	if baselinePath == "" {
+		return fmt.Errorf("compare requires -baseline")
+	}
+	baseline, err := profile.LoadBenchReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := profile.LoadBenchReport(currentPath)
+	if err != nil {
+		return err
+	}
+	return compareReports(w, baseline, current, thresholdPct)
+}
+
+// compareReports prints the readable delta table and converts a failing
+// verdict into errBenchRegression.
+func compareReports(w io.Writer, baseline, current *profile.BenchReport, thresholdPct float64) error {
+	cmp := profile.Compare(baseline, current, thresholdPct)
+	fmt.Fprintln(w, cmp.Format())
+	if cmp.Failed() {
+		return fmt.Errorf("%w: %d metric(s)", errBenchRegression, len(cmp.Regressions()))
+	}
+	return nil
+}

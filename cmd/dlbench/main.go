@@ -8,8 +8,11 @@
 //	dlbench [-scale test|small|full] [-seed N] [-quiet]
 //	        [-json FILE] [-csv FILE] [-losscsv FILE]
 //	        [-trace FILE] [-telemetry] [-pprof ADDR]
+//	        [-profile FILE] [-profile-fold FILE] [-events FILE]
 //	        [-timeout D] [-checkpoint-dir DIR] [-resume]
 //	        [-max-retries N] [-faults PLAN] <experiment>...
+//	dlbench bench [-bench-out FILE] [-baseline FILE] [-bench-threshold PCT]
+//	dlbench compare -baseline OLD -bench-out NEW
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 table6 table7 table8 table9, or "all".
@@ -18,8 +21,22 @@
 // data phases) and writes a Chrome trace_event JSON loadable in
 // chrome://tracing or Perfetto; -telemetry prints per-phase duration,
 // counter and gauge tables after the reports; -pprof serves
-// net/http/pprof on the given address for live profiling. All three are
-// off by default, and the instrumented hot paths are no-ops when off.
+// net/http/pprof plus /metrics (Prometheus text exposition of every
+// instrument and the run-progress gauges) and /status (a JSON progress
+// document) on the given address. -profile enables per-op profiling mode
+// and writes the attribution profile (self/cumulative time per op, a
+// ".csv" path selects CSV); -profile-fold writes the same population in
+// folded-stack format for flamegraph.pl or speedscope. -events writes a
+// structured JSONL event log (run/epoch boundaries, resilience events).
+// All are off by default, and the instrumented hot paths are no-ops when
+// off.
+//
+// Continuous benchmarking: `dlbench bench` runs the canonical baseline
+// matrix in profiling mode and writes a schema-versioned BENCH_*.json
+// report (-bench-out); with -baseline it also compares against a previous
+// report and exits non-zero when any metric regresses past
+// -bench-threshold percent. `dlbench compare` diffs two existing reports
+// without running anything.
 //
 // Robustness: -timeout bounds the whole invocation and SIGINT cancels
 // it; both produce a well-formed partial report (completed rows, JSON/CSV
@@ -32,20 +49,24 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/framework"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/resilience"
 )
 
@@ -81,7 +102,13 @@ func run(args []string) error {
 	lossCSVPath := fs.String("losscsv", "", "also write per-iteration loss histories as CSV to this file")
 	tracePath := fs.String("trace", "", "record execution spans and write a Chrome trace_event JSON to this file")
 	telemetry := fs.Bool("telemetry", false, "print runtime telemetry tables (durations, counters, gauges) after the reports")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof, /metrics and /status on this address (e.g. localhost:6060) while running")
+	profilePath := fs.String("profile", "", "enable per-op profiling and write the attribution profile to this file (a .csv extension selects CSV)")
+	profileFoldPath := fs.String("profile-fold", "", "enable per-op profiling and write folded stacks (flamegraph.pl format) to this file")
+	eventsPath := fs.String("events", "", "write the structured JSONL event log (run/epoch boundaries, resilience events) to this file")
+	benchOut := fs.String("bench-out", "BENCH.json", "bench/compare: write (bench) or read (compare) the current benchmark report at this path")
+	baselinePath := fs.String("baseline", "", "bench/compare: compare against this previous benchmark report, exiting non-zero on regression")
+	benchThreshold := fs.Float64("bench-threshold", 0, "bench/compare: regression threshold in percent (0 selects the default 15)")
 	timeout := fs.Duration("timeout", 0, "cancel the whole invocation after this duration, emitting a partial report (0 disables)")
 	checkpointDir := fs.String("checkpoint-dir", "", "persist periodic training checkpoints to this directory")
 	resume := fs.Bool("resume", false, "resume training runs from checkpoints in -checkpoint-dir")
@@ -134,15 +161,29 @@ func run(args []string) error {
 	}
 	suite.Faults = plan
 
+	// Command modes: "bench" runs the canonical matrix into a BENCH_*.json
+	// report, "compare" diffs two existing reports. Both are standalone.
+	benchMode := len(targets) == 1 && targets[0] == "bench"
+	if len(targets) == 1 && targets[0] == "compare" {
+		return runCompare(os.Stdout, *baselinePath, *benchOut, *benchThreshold)
+	}
+
+	profiling := *profilePath != "" || *profileFoldPath != "" || benchMode
+
 	// The tracer exists only when some consumer asked for it; otherwise
-	// every instrumented path stays on the documented no-op branch.
+	// every instrumented path stays on the documented no-op branch. The
+	// live endpoints (-pprof serves /metrics and /status) and the event
+	// log are consumers too.
 	var tracer *obs.Tracer
-	if *tracePath != "" || *telemetry {
+	if *tracePath != "" || *telemetry || *pprofAddr != "" || *eventsPath != "" || profiling {
 		tracer = obs.New()
 		suite.Obs = tracer
 	}
-	// Open the trace file before training so an unwritable path fails in
-	// milliseconds, not after a multi-minute sweep.
+	if profiling {
+		tracer.EnableProfiling()
+	}
+	// Open every output file before training so an unwritable path fails
+	// in milliseconds, not after a multi-minute sweep.
 	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
@@ -152,12 +193,24 @@ func run(args []string) error {
 		traceFile = f
 		defer traceFile.Close()
 	}
+	outFiles := make(map[string]*os.File)
+	for _, path := range []string{*profilePath, *profileFoldPath, *eventsPath} {
+		if path == "" || outFiles[path] != nil {
+			continue
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		outFiles[path] = f
+		defer f.Close()
+	}
 	if *pprofAddr != "" {
-		ln, err := startPprof(*pprofAddr)
+		ln, err := startPprof(*pprofAddr, tracer)
 		if err != nil {
 			return err
 		}
-		sink.printf("pprof listening on http://%s/debug/pprof/", ln)
+		sink.printf("pprof listening on http://%s/debug/pprof/ (also /metrics, /status)", ln)
 	}
 
 	if len(targets) == 1 && targets[0] == "all" {
@@ -165,22 +218,39 @@ func run(args []string) error {
 	}
 	var collected []metrics.RunResult
 	interrupted := false
-	for _, t := range targets {
-		text, rows, err := runExperiment(ctx, suite, t)
-		collected = append(collected, rows...)
-		if text != "" {
-			fmt.Println(text)
+	// benchErr carries a benchmark regression verdict past the export
+	// section below, so a failing comparison still writes every requested
+	// artifact before the process exits non-zero.
+	var benchErr error
+	if benchMode {
+		benchErr = runBench(ctx, os.Stdout, suite, tracer, sink, benchConfig{
+			scale:        *scaleName,
+			seed:         *seed,
+			outPath:      *benchOut,
+			baselinePath: *baselinePath,
+			thresholdPct: *benchThreshold,
+		})
+		if ctx.Err() != nil {
+			interrupted = true
 		}
-		if err != nil {
-			if ctx.Err() != nil {
-				// Cancellation is not a failure: stop sweeping, keep the
-				// rows completed so far, and fall through to the exports
-				// so the partial report is well-formed.
-				sink.printf("interrupted during %s (%v); writing partial report", t, ctx.Err())
-				interrupted = true
-				break
+	} else {
+		for _, t := range targets {
+			text, rows, err := runExperiment(ctx, suite, t)
+			collected = append(collected, rows...)
+			if text != "" {
+				fmt.Println(text)
 			}
-			return fmt.Errorf("%s: %w", t, err)
+			if err != nil {
+				if ctx.Err() != nil {
+					// Cancellation is not a failure: stop sweeping, keep the
+					// rows completed so far, and fall through to the exports
+					// so the partial report is well-formed.
+					sink.printf("interrupted during %s (%v); writing partial report", t, ctx.Err())
+					interrupted = true
+					break
+				}
+				return fmt.Errorf("%s: %w", t, err)
+			}
 		}
 	}
 	if *jsonPath != "" {
@@ -216,22 +286,105 @@ func run(args []string) error {
 			sink.printf("warning: %d spans dropped after the %d-span buffer filled", n, tracer.SpanCount())
 		}
 	}
+	if *profilePath != "" || *profileFoldPath != "" {
+		prof := profile.Build(tracer.Spans())
+		if f := outFiles[*profilePath]; f != nil {
+			write := prof.WriteTable
+			if strings.HasSuffix(*profilePath, ".csv") {
+				write = prof.WriteCSV
+			}
+			if err := write(f); err != nil {
+				return err
+			}
+			sink.printf("wrote attribution profile (%d span names, %.1f%% coverage) to %s",
+				len(prof.Entries), prof.CoveragePct(), *profilePath)
+		}
+		if f := outFiles[*profileFoldPath]; f != nil {
+			if err := prof.WriteFolded(f); err != nil {
+				return err
+			}
+			sink.printf("wrote folded stacks to %s (flamegraph.pl or https://speedscope.app)", *profileFoldPath)
+		}
+	}
+	if f := outFiles[*eventsPath]; f != nil {
+		if err := obs.WriteEventsJSONL(f, tracer); err != nil {
+			return err
+		}
+		sink.printf("wrote %d events to %s", len(tracer.Events()), *eventsPath)
+		if n := tracer.EventsDropped(); n > 0 {
+			sink.printf("warning: %d events dropped after the event buffer filled", n)
+		}
+	}
 	if interrupted {
 		sink.printf("partial report: %d run results completed before cancellation", len(collected))
 	}
-	return nil
+	return benchErr
 }
 
-// startPprof serves net/http/pprof on addr in the background, returning
-// the bound address.
-func startPprof(addr string) (string, error) {
-	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+// startPprof serves the live exposition endpoints on addr in the
+// background, returning the bound address: net/http/pprof (via the
+// default mux its import registered on), /metrics (Prometheus text
+// exposition of the tracer's instruments) and /status (a JSON progress
+// document). A fresh mux per call keeps repeated starts (tests) from
+// double-registering paths.
+func startPprof(addr string, tr *obs.Tracer) (string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := metrics.WritePrometheus(w, tr.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	start := time.Now()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(statusView(tr, time.Since(start))); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	srv := &http.Server{Addr: addr, Handler: mux}
 	ln, err := newListener(addr)
 	if err != nil {
 		return "", fmt.Errorf("pprof listen %s: %w", addr, err)
 	}
 	go srv.Serve(ln) //nolint:errcheck // best-effort debug endpoint
 	return ln.Addr().String(), nil
+}
+
+// status is the JSON document served at /status: where the sweep is right
+// now (cell, epoch, iteration, loss) plus the counter totals.
+type status struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Cell          string            `json:"cell,omitempty"`
+	Scale         string            `json:"scale,omitempty"`
+	Epoch         int64             `json:"epoch"`
+	Iteration     int64             `json:"iteration"`
+	Loss          float64           `json:"loss"`
+	AccuracyPct   float64           `json:"accuracy_pct"`
+	Counters      map[string]int64  `json:"counters,omitempty"`
+	Infos         map[string]string `json:"infos,omitempty"`
+}
+
+// statusView assembles the /status document from a snapshot. NaN losses
+// (diverged runs) are zeroed: encoding/json cannot represent them.
+func statusView(tr *obs.Tracer, uptime time.Duration) status {
+	s := tr.Snapshot()
+	st := status{UptimeSeconds: uptime.Seconds()}
+	if s == nil {
+		return st
+	}
+	st.Cell = s.Infos["suite.cell"]
+	st.Scale = s.Infos["suite.scale"]
+	st.Epoch = int64(s.Gauges["suite.epoch_idx"].Last)
+	st.Iteration = int64(s.Gauges["suite.iter"].Last)
+	st.AccuracyPct = s.Gauges["suite.accuracy_pct"].Last
+	if l := s.Gauges["suite.loss"].Last; !math.IsNaN(l) && !math.IsInf(l, 0) {
+		st.Loss = l
+	}
+	st.Counters = s.Counters
+	st.Infos = s.Infos
+	return st
 }
 
 // writeResults writes collected run rows with the given encoder.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the -race build flag; see race_on_test.go.
+const raceEnabled = false

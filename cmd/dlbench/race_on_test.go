@@ -1,0 +1,10 @@
+//go:build race
+
+package main
+
+// raceEnabled mirrors the -race build flag so the heavyweight
+// profiling-mode e2e tests can skip themselves under the race detector
+// (profiling samples runtime.MemStats around every op dispatch, which the
+// detector slows by an order of magnitude). The plain `go test ./...`
+// tier-1 run still executes them.
+const raceEnabled = true

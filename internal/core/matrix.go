@@ -28,6 +28,7 @@ func (s *Suite) RunMatrix(ctx context.Context, specs []RunSpec) ([]metrics.RunRe
 				return rows, ctx.Err()
 			}
 			s.Obs.Counter(resilience.CounterCellsFailed).Inc()
+			s.Obs.Emit("cell.failed", map[string]any{"cell": spec.CellKey(), "error": err.Error()})
 			s.progress("  cell %s FAILED: %v", spec.CellKey(), err)
 			rows = append(rows, failedResult(spec, err))
 			continue

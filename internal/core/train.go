@@ -59,6 +59,12 @@ func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trained
 	telemetryBefore := s.Obs.Snapshot()
 	runSpan := s.Obs.Span("suite.run", "suite")
 	defer runSpan.End()
+	// Progress identity for live exposition (/metrics, /status): which
+	// cell is training right now, at which scale.
+	cell := spec.CellKey()
+	s.Obs.Info("suite.cell").Set(cell)
+	s.Obs.Info("suite.scale").Set(s.scale.Name)
+	s.Obs.Emit("run.start", map[string]any{"cell": cell})
 	defaults, err := framework.Defaults(spec.SettingsFW, spec.SettingsDS)
 	if err != nil {
 		return nil, err
@@ -129,7 +135,7 @@ func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trained
 	}
 	r := &trainingRun{
 		spec:          spec,
-		cell:          spec.CellKey(),
+		cell:          cell,
 		defaults:      defaults,
 		prep:          prep,
 		net:           net,
@@ -223,6 +229,14 @@ func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trained
 		tm.accuracyPct >= 2.5*chance
 	s.progress("  -> accuracy %.2f%% loss %.4f converged=%v wall %.1fs",
 		tm.accuracyPct, tm.finalLoss, tm.converged, tm.trainWall)
+	s.Obs.Emit("run.end", map[string]any{
+		"cell":         cell,
+		"accuracy_pct": tm.accuracyPct,
+		"final_loss":   jsonFloat(tm.finalLoss),
+		"converged":    tm.converged,
+		"train_wall_s": tm.trainWall,
+		"test_wall_s":  tm.testWall,
+	})
 	tm.telemetry = obs.Delta(telemetryBefore, s.Obs.Snapshot())
 	return tm, nil
 }
@@ -256,6 +270,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 			startIter = cp.Iteration
 			r.mem = cp
 			s.Obs.Counter(resilience.CounterResumes).Inc()
+			s.Obs.Emit("resilience.resume", map[string]any{"cell": r.cell, "iter": startIter})
 			s.progress("  resume %s from checkpoint at iteration %d/%d", r.cell, startIter, r.totalIters)
 		}
 	}
@@ -269,6 +284,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 			return err
 		}
 		s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+		s.Obs.Emit("resilience.checkpoint", map[string]any{"cell": r.cell, "iter": 0})
 	}
 
 	recovered := false
@@ -290,6 +306,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 		diverged := errors.Is(err, resilience.ErrDiverged)
 		if diverged {
 			s.Obs.Counter(resilience.CounterDivergences).Inc()
+			s.Obs.Emit("resilience.divergence", map[string]any{"cell": r.cell, "error": err.Error()})
 		}
 		if errors.Is(err, engine.ErrPanic) {
 			s.Obs.Counter(resilience.CounterPanics).Inc()
@@ -307,6 +324,11 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 		}
 		r.attempt++
 		s.Obs.Counter(resilience.CounterRetries).Inc()
+		s.Obs.Emit("resilience.retry", map[string]any{
+			"cell":    r.cell,
+			"attempt": r.attempt,
+			"error":   err.Error(),
+		})
 		if diverged {
 			// Divergence is a step-size pathology: retry from the last
 			// good state with a decayed learning rate. Injected op faults
@@ -319,6 +341,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 			return err
 		}
 		s.Obs.Counter(resilience.CounterRollbacks).Inc()
+		s.Obs.Emit("resilience.rollback", map[string]any{"cell": r.cell, "iter": r.mem.Iteration})
 		startIter = r.mem.Iteration
 		recovered = true
 		if err := resilience.Sleep(ctx, resilience.Backoff(r.attempt-1, policy.BackoffBase, policy.BackoffMax)); err != nil {
@@ -339,6 +362,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 			return err
 		}
 		s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+		s.Obs.Emit("resilience.checkpoint", map[string]any{"cell": r.cell, "iter": r.totalIters})
 	}
 	return nil
 }
@@ -348,6 +372,8 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 func (s *Suite) runIters(ctx context.Context, r *trainingRun, startIter int, useCkpt bool, every int) (err error) {
 	guard := r.policy.Enabled()
 	lossGauge := s.Obs.Gauge("suite.loss")
+	iterGauge := s.Obs.Gauge("suite.iter")
+	epochGauge := s.Obs.Gauge("suite.epoch_idx")
 	iterCount := s.Obs.Counter("suite.iterations")
 	trainSpan := s.Obs.Span("suite.train", "suite")
 	start := time.Now()
@@ -364,7 +390,14 @@ func (s *Suite) runIters(ctx context.Context, r *trainingRun, startIter int, use
 		if it > startIter && it%r.itersPerEpoch == 0 {
 			epochSpan.End()
 			epochSpan = s.Obs.Span("suite.epoch", "suite")
+			s.Obs.Emit("epoch", map[string]any{
+				"cell":  r.cell,
+				"epoch": it / r.itersPerEpoch,
+				"loss":  jsonFloat(r.lastLoss),
+			})
 		}
+		iterGauge.Set(float64(it))
+		epochGauge.Set(float64(it / r.itersPerEpoch))
 		r.injector.BeginIteration(it)
 		if err := r.injector.Crash(); err != nil {
 			return err
@@ -414,20 +447,36 @@ func (s *Suite) runIters(ctx context.Context, r *trainingRun, startIter int, use
 				return err
 			}
 			s.Obs.Counter(resilience.CounterCheckpoints).Inc()
+			s.Obs.Emit("resilience.checkpoint", map[string]any{"cell": r.cell, "iter": it + 1})
 		}
 	}
 	return nil
 }
 
-// syncFaultCounter folds newly fired injections into the obs counter.
+// syncFaultCounter folds newly fired injections into the obs counter and
+// event log.
 func (s *Suite) syncFaultCounter(r *trainingRun) {
 	if r.injector == nil {
 		return
 	}
 	if fired := r.injector.Injected(); fired > r.faultsSeen {
 		s.Obs.Counter(resilience.CounterFaultsInjected).Add(fired - r.faultsSeen)
+		s.Obs.Emit("resilience.fault.injected", map[string]any{
+			"cell":  r.cell,
+			"fired": fired - r.faultsSeen,
+			"total": fired,
+		})
 		r.faultsSeen = fired
 	}
+}
+
+// jsonFloat renders a float JSON-safely: NaN and ±Inf are legal losses
+// for diverged runs but have no JSON encoding, so they become strings.
+func jsonFloat(f float64) any {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Sprintf("%v", f)
+	}
+	return f
 }
 
 // capture snapshots the run after `iteration` completed iterations: the

@@ -45,6 +45,20 @@ var ErrPanic = errors.New("engine: recovered panic")
 // CatEngine is the obs span category used by all executor spans.
 const CatEngine = "engine"
 
+// CatOp is the obs span category of per-op dispatch spans. Executors emit
+// them only in profiling mode (obs.Tracer.EnableProfiling): one span per
+// layer dispatch would dominate the span buffer on long sweeps, but in
+// profiling mode they are what turns the trace into a per-layer
+// attribution profile.
+const CatOp = "op"
+
+// OpSpanName names the per-op span for one layer dispatch of the named
+// executor style, e.g. "graph.op.conv1". Forward and backward dispatches
+// share the name; the enclosing phase span distinguishes direction.
+func OpSpanName(style, layer string) string {
+	return style + ".op." + layer
+}
+
 // CounterTrainDispatch returns the obs counter name under which the named
 // executor style counts per-iteration training dispatches. After exactly
 // one TrainBatch the counter equals Stats().TrainDispatches — the tracer

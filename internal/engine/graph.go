@@ -13,6 +13,9 @@ import (
 type opNode struct {
 	id    int
 	layer nn.Layer
+	// spanName is the profiling-mode per-op span name, built once at
+	// graph construction so the dispatch loop allocates nothing.
+	spanName string
 	// deps are node ids this node consumes from; succ the consumers.
 	deps []int
 	succ []int
@@ -57,7 +60,7 @@ func NewGraph(net *nn.Network, tr *obs.Tracer) (*GraphExecutor, error) {
 	layers := net.Layers()
 	g.nodes = make([]*opNode, len(layers))
 	for i, l := range layers {
-		n := &opNode{id: i, layer: l, fusedInto: -1}
+		n := &opNode{id: i, layer: l, spanName: OpSpanName("graph", l.Name()), fusedInto: -1}
 		if i > 0 {
 			n.deps = append(n.deps, i-1)
 			g.nodes[i-1].succ = append(g.nodes[i-1].succ, i)
@@ -160,6 +163,7 @@ func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels
 		return nn.LossResult{}, err
 	}
 	bwd := g.tr.Span("graph.backward", CatEngine)
+	profiling := g.tr.ProfilingEnabled()
 	grad := res.Grad
 	for i := len(g.schedule) - 1; i >= 0; i-- {
 		if g.hook != nil {
@@ -169,7 +173,13 @@ func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels
 			}
 		}
 		n := g.nodes[g.schedule[i]]
-		grad, err = n.layer.Backward(grad)
+		if profiling {
+			sp := g.tr.Span(n.spanName, CatOp)
+			grad, err = n.layer.Backward(grad)
+			sp.End()
+		} else {
+			grad, err = n.layer.Backward(grad)
+		}
 		if err != nil {
 			bwd.End()
 			return nn.LossResult{}, fmt.Errorf("engine: graph backward: %w", err)
@@ -185,6 +195,7 @@ func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels
 func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	cur := x
 	dispatched := int64(1) // session-run dispatch
+	profiling := g.tr.ProfilingEnabled()
 	for _, id := range g.schedule {
 		n := g.nodes[id]
 		if n.fusedInto < 0 {
@@ -195,7 +206,15 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 				return nil, fmt.Errorf("engine: graph forward dispatch: %w", err)
 			}
 		}
-		next, err := n.layer.Forward(cur, train)
+		var next *tensor.Tensor
+		var err error
+		if profiling {
+			sp := g.tr.Span(n.spanName, CatOp)
+			next, err = n.layer.Forward(cur, train)
+			sp.End()
+		} else {
+			next, err = n.layer.Forward(cur, train)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, n.layer.Name(), err)
 		}

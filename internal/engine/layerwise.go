@@ -17,6 +17,10 @@ type LayerwiseExecutor struct {
 	batchHint int
 	blobBytes int64
 
+	// opNames are the profiling-mode per-op span names, one per layer,
+	// built once so the dispatch loops allocate nothing.
+	opNames []string
+
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
 	dispInfer *obs.Counter
@@ -57,6 +61,7 @@ func NewLayerwise(net *nn.Network, batchHint int, tr *obs.Tracer) (*LayerwiseExe
 		}
 		bytes += 2 * int64(tensor.Volume(next)) * int64(batchHint) * 8
 		cur = next
+		e.opNames = append(e.opNames, OpSpanName("layerwise", l.Name()))
 	}
 	e.blobBytes = bytes
 	return e, nil
@@ -76,13 +81,22 @@ func (e *LayerwiseExecutor) SetOpHook(h OpHook) { e.hook = h }
 // dispatch passes through the op hook.
 func (e *LayerwiseExecutor) forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	cur := x
-	for _, l := range e.net.Layers() {
+	profiling := e.tr.ProfilingEnabled()
+	for i, l := range e.net.Layers() {
 		if e.hook != nil {
 			if err := e.hook("layerwise.forward"); err != nil {
 				return nil, fmt.Errorf("engine: layerwise forward dispatch: %w", err)
 			}
 		}
-		next, err := l.Forward(cur, train)
+		var next *tensor.Tensor
+		var err error
+		if profiling {
+			sp := e.tr.Span(e.opNames[i], CatOp)
+			next, err = l.Forward(cur, train)
+			sp.End()
+		} else {
+			next, err = l.Forward(cur, train)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: layerwise forward %q: %w", l.Name(), err)
 		}
@@ -95,13 +109,22 @@ func (e *LayerwiseExecutor) forward(x *tensor.Tensor, train bool) (*tensor.Tenso
 func (e *LayerwiseExecutor) backward(grad *tensor.Tensor) error {
 	layers := e.net.Layers()
 	cur := grad
+	profiling := e.tr.ProfilingEnabled()
 	for i := len(layers) - 1; i >= 0; i-- {
 		if e.hook != nil {
 			if err := e.hook("layerwise.backward"); err != nil {
 				return fmt.Errorf("engine: layerwise backward dispatch: %w", err)
 			}
 		}
-		prev, err := layers[i].Backward(cur)
+		var prev *tensor.Tensor
+		var err error
+		if profiling {
+			sp := e.tr.Span(e.opNames[i], CatOp)
+			prev, err = layers[i].Backward(cur)
+			sp.End()
+		} else {
+			prev, err = layers[i].Backward(cur)
+		}
 		if err != nil {
 			return fmt.Errorf("engine: layerwise backward %q: %w", layers[i].Name(), err)
 		}

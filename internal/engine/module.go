@@ -14,13 +14,15 @@ import (
 type module struct {
 	name     string
 	layer    nn.Layer // nil for containers
+	spanName string   // profiling-mode per-op span name (leaves only)
 	children []*module
 }
 
 // forward recursively dispatches through the tree, counting leaf and
 // container dispatches like Torch's nn.Sequential updateOutput chain. A
-// non-nil hook is consulted before every module dispatch.
-func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpHook) (*tensor.Tensor, error) {
+// non-nil hook is consulted before every module dispatch; a non-nil tr
+// (profiling mode) wraps every leaf dispatch in a per-op span.
+func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpHook, tr *obs.Tracer) (*tensor.Tensor, error) {
 	*dispatches++
 	if hook != nil {
 		if err := hook("module.forward"); err != nil {
@@ -28,7 +30,12 @@ func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpH
 		}
 	}
 	if m.layer != nil {
+		var sp obs.Span
+		if tr != nil {
+			sp = tr.Span(m.spanName, CatOp)
+		}
 		out, err := m.layer.Forward(x, train)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("module %q: %w", m.name, err)
 		}
@@ -36,7 +43,7 @@ func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpH
 	}
 	cur := x
 	for _, c := range m.children {
-		next, err := c.forward(cur, train, dispatches, hook)
+		next, err := c.forward(cur, train, dispatches, hook, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +54,7 @@ func (m *module) forward(x *tensor.Tensor, train bool, dispatches *int, hook OpH
 
 // backward recursively dispatches gradients in reverse child order
 // (Torch's updateGradInput/accGradParameters chain).
-func (m *module) backward(grad *tensor.Tensor, dispatches *int, hook OpHook) (*tensor.Tensor, error) {
+func (m *module) backward(grad *tensor.Tensor, dispatches *int, hook OpHook, tr *obs.Tracer) (*tensor.Tensor, error) {
 	*dispatches++
 	if hook != nil {
 		if err := hook("module.backward"); err != nil {
@@ -55,7 +62,12 @@ func (m *module) backward(grad *tensor.Tensor, dispatches *int, hook OpHook) (*t
 		}
 	}
 	if m.layer != nil {
+		var sp obs.Span
+		if tr != nil {
+			sp = tr.Span(m.spanName, CatOp)
+		}
 		g, err := m.layer.Backward(grad)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("module %q: %w", m.name, err)
 		}
@@ -63,7 +75,7 @@ func (m *module) backward(grad *tensor.Tensor, dispatches *int, hook OpHook) (*t
 	}
 	cur := grad
 	for i := len(m.children) - 1; i >= 0; i-- {
-		prev, err := m.children[i].backward(cur, dispatches, hook)
+		prev, err := m.children[i].backward(cur, dispatches, hook, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -142,21 +154,24 @@ func NewModule(net *nn.Network, tr *obs.Tracer) (*ModuleExecutor, error) {
 			break
 		}
 	}
+	leaf := func(l nn.Layer) *module {
+		return &module{name: l.Name(), layer: l, spanName: OpSpanName("module", l.Name())}
+	}
 	root := &module{name: "root"}
 	if split < 0 {
 		seq := &module{name: "sequential"}
 		for _, l := range layers {
-			seq.children = append(seq.children, &module{name: l.Name(), layer: l})
+			seq.children = append(seq.children, leaf(l))
 		}
 		root.children = append(root.children, seq)
 	} else {
 		features := &module{name: "features"}
 		for _, l := range layers[:split] {
-			features.children = append(features.children, &module{name: l.Name(), layer: l})
+			features.children = append(features.children, leaf(l))
 		}
 		classifier := &module{name: "classifier"}
 		for _, l := range layers[split:] {
-			classifier.children = append(classifier.children, &module{name: l.Name(), layer: l})
+			classifier.children = append(classifier.children, leaf(l))
 		}
 		root.children = append(root.children, features, classifier)
 	}
@@ -176,8 +191,14 @@ func (e *ModuleExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, label
 		return nn.LossResult{}, err
 	}
 	var d int
+	// optr is non-nil only in profiling mode: the tree walk then wraps
+	// every leaf dispatch in a per-op span.
+	var optr *obs.Tracer
+	if e.tr.ProfilingEnabled() {
+		optr = e.tr
+	}
 	fwd := e.tr.Span("module.forward", CatEngine)
-	logits, err := e.root.forward(x, true, &d, e.hook)
+	logits, err := e.root.forward(x, true, &d, e.hook, optr)
 	fwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
@@ -190,7 +211,7 @@ func (e *ModuleExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, label
 		return nn.LossResult{}, err
 	}
 	bwd := e.tr.Span("module.backward", CatEngine)
-	_, err = e.root.backward(res.Grad, &d, e.hook)
+	_, err = e.root.backward(res.Grad, &d, e.hook, optr)
 	bwd.End()
 	if err != nil {
 		return nn.LossResult{}, err
@@ -217,7 +238,11 @@ func (e *ModuleExecutor) Logits(ctx context.Context, x *tensor.Tensor) (out *ten
 		return nil, err
 	}
 	var d int
-	out, err = e.root.forward(x, false, &d, e.hook)
+	var optr *obs.Tracer
+	if e.tr.ProfilingEnabled() {
+		optr = e.tr
+	}
+	out, err = e.root.forward(x, false, &d, e.hook, optr)
 	if err != nil {
 		return nil, err
 	}

@@ -158,3 +158,36 @@ func TestNilTracerExecutorsStillWork(t *testing.T) {
 		}
 	}
 }
+
+// TestProfilingModeEmitsPerOpSpans: with profiling enabled every style
+// must emit one "op" span per layer dispatch, named via OpSpanName, and
+// with profiling off (tracing only) no op spans may appear.
+func TestProfilingModeEmitsPerOpSpans(t *testing.T) {
+	x, labels := testBatch(21)
+	for name, e := range tracedExecutors(t, 17) {
+		t.Run(name, func(t *testing.T) {
+			// Tracing without profiling: no per-op spans.
+			if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.tr.Histogram(OpSpanName(name, "conv1")).Count(); got != 0 {
+				t.Fatalf("op spans emitted without profiling mode: %d", got)
+			}
+			e.tr.EnableProfiling()
+			if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
+				t.Fatal(err)
+			}
+			// Every layer of the test net dispatches forward and backward.
+			for _, layer := range []string{"conv1", "relu1", "pool1", "flat", "fc"} {
+				if got := e.tr.Histogram(OpSpanName(name, layer)).Count(); got != 2 {
+					t.Errorf("%s op spans = %d, want 2 (fwd+bwd)", layer, got)
+				}
+			}
+			// Op spans must be inside the phase spans: forward span count
+			// unchanged by profiling (still one per TrainBatch).
+			if got := e.tr.Histogram(name + ".forward").Count(); got != 2 {
+				t.Errorf("%s.forward spans = %d, want 2", name, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// promNamespace prefixes every exported metric so a shared Prometheus
+// server can tell dlbench series from everything else it scrapes.
+const promNamespace = "dlbench"
+
+// WritePrometheus renders an obs snapshot in the Prometheus text
+// exposition format (version 0.0.4):
+//
+//   - counters export as `<ns>_<name>_total` counter series;
+//   - gauges export their last value as a `<ns>_<name>` gauge;
+//   - duration populations export as summaries in seconds, with p50/p95/p99
+//     quantile labels plus the conventional _sum and _count series;
+//   - info strings export info-style, `<ns>_<name>_info{value="..."} 1`.
+//
+// Output is deterministic: families are grouped per kind and sorted by
+// name, so scrapes diff cleanly and the golden test can assert exact
+// bytes. A nil snapshot writes nothing and returns nil.
+func WritePrometheus(w io.Writer, s *obs.Snapshot) error {
+	if s == nil {
+		return nil
+	}
+	for _, name := range s.CounterNames() {
+		fam := promName(name) + "_total"
+		if err := promHeader(w, fam, "counter", "Cumulative count of "+name+"."); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", fam, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.GaugeNames() {
+		fam := promName(name)
+		g := s.Gauges[name]
+		if err := promHeader(w, fam, "gauge", "Last observed value of "+name+"."); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", fam, promFloat(g.Last)); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.DurationNames() {
+		fam := promName(name) + "_seconds"
+		d := s.Durations[name]
+		if err := promHeader(w, fam, "summary", "Duration of "+name+" in seconds."); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			ns    int64
+		}{{"0.5", d.P50NS}, {"0.95", d.P95NS}, {"0.99", d.P99NS}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", fam, q.label, promFloat(secs(q.ns))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", fam, promFloat(secs(d.SumNS))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", fam, d.Count); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.InfoNames() {
+		fam := promName(name) + "_info"
+		if err := promHeader(w, fam, "gauge", "Info string "+name+"."); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s{value=%q} 1\n", fam, s.Infos[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promHeader writes the HELP/TYPE preamble for one metric family.
+func promHeader(w io.Writer, fam, typ, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+	return err
+}
+
+// promName sanitizes an instrument name into a legal Prometheus metric
+// name under the dlbench namespace: every byte outside [a-zA-Z0-9_:]
+// becomes '_' (instrument names use '.' as their hierarchy separator).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + 1 + len(name))
+	b.WriteString(promNamespace)
+	b.WriteByte('_')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way the exposition format expects. Go's
+// %g spells the special values "NaN", "+Inf" and "-Inf", which is exactly
+// the Prometheus spelling, so no translation is needed.
+func promFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// secs converts nanoseconds to seconds.
+func secs(ns int64) float64 { return float64(ns) / 1e9 }

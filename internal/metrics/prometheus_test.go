@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestWritePrometheusGolden locks the exposition format byte-for-byte:
+// name sanitization, HELP/TYPE preambles, summary quantile labels and
+// info-style strings. Durations come from a real tracer histogram so the
+// quantile plumbing (not just the formatting) is under test; the span is
+// the one instrument whose exact quantile values we can't pin, so the
+// golden covers counters/gauges/infos exactly and the summary
+// structurally.
+func TestWritePrometheusGolden(t *testing.T) {
+	s := &obs.Snapshot{
+		Counters: map[string]int64{
+			"engine.graph.dispatch.train": 42,
+			"suite.iterations":            7,
+		},
+		Gauges: map[string]obs.GaugeStats{
+			"suite.loss": {Last: 0.125, Min: 0.125, Max: 2.5, N: 9},
+		},
+		Infos: map[string]string{
+			"suite.cell": "tf/tf/mnist/cpu",
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP dlbench_engine_graph_dispatch_train_total Cumulative count of engine.graph.dispatch.train.
+# TYPE dlbench_engine_graph_dispatch_train_total counter
+dlbench_engine_graph_dispatch_train_total 42
+# HELP dlbench_suite_iterations_total Cumulative count of suite.iterations.
+# TYPE dlbench_suite_iterations_total counter
+dlbench_suite_iterations_total 7
+# HELP dlbench_suite_loss Last observed value of suite.loss.
+# TYPE dlbench_suite_loss gauge
+dlbench_suite_loss 0.125
+# HELP dlbench_suite_cell_info Info string suite.cell.
+# TYPE dlbench_suite_cell_info gauge
+dlbench_suite_cell_info{value="tf/tf/mnist/cpu"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusSummary exercises the duration → summary path with a
+// live tracer so quantiles flow from the real histogram.
+func TestWritePrometheusSummary(t *testing.T) {
+	tr := obs.New()
+	h := tr.Histogram("suite.iter")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, tr.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dlbench_suite_iter_seconds summary\n",
+		`dlbench_suite_iter_seconds{quantile="0.5"} `,
+		`dlbench_suite_iter_seconds{quantile="0.95"} `,
+		`dlbench_suite_iter_seconds{quantile="0.99"} `,
+		"dlbench_suite_iter_seconds_sum 0.1\n",
+		"dlbench_suite_iter_seconds_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusSanitizesNames verifies that characters outside the
+// Prometheus name alphabet become underscores.
+func TestWritePrometheusSanitizesNames(t *testing.T) {
+	s := &obs.Snapshot{Counters: map[string]int64{"weird-name.with/slash and space": 1}}
+	var b strings.Builder
+	if err := WritePrometheus(&b, s); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if want := "dlbench_weird_name_with_slash_and_space_total 1\n"; !strings.Contains(b.String(), want) {
+		t.Errorf("sanitized series %q missing from:\n%s", want, b.String())
+	}
+}
+
+// TestWritePrometheusNilSnapshot keeps the nil discipline: no output, no
+// error.
+func TestWritePrometheusNilSnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil); err != nil {
+		t.Fatalf("WritePrometheus(nil): %v", err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil snapshot wrote %q", b.String())
+	}
+}

@@ -63,6 +63,17 @@ func TelemetryReport(s *obs.Snapshot) string {
 		b.WriteString("Gauges\n\n")
 		b.WriteString(tbl.String())
 	}
+	if names := s.InfoNames(); len(names) > 0 {
+		tbl := NewTable("Info", "Value")
+		for _, name := range names {
+			tbl.AddRow(name, s.Infos[name])
+		}
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString("Infos\n\n")
+		b.WriteString(tbl.String())
+	}
 	return b.String()
 }
 

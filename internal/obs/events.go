@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxEvents bounds the event log the way maxSpans bounds the span buffer:
+// run/epoch boundaries and resilience incidents are rare compared to
+// iterations, so 1<<16 covers any realistic sweep.
+const maxEvents = 1 << 16
+
+// Event is one typed record in the structured event log: run and epoch
+// boundaries, resilience retries/rollbacks, injected faults. Fields hold
+// the event-specific payload; encoding/json renders map keys sorted, so a
+// JSONL export is deterministic given deterministic field values.
+type Event struct {
+	// NS is the event time in nanoseconds since the tracer epoch.
+	NS int64
+	// Type names the event, dot-namespaced like counters
+	// ("run.start", "epoch", "resilience.retry").
+	Type string
+	// Fields is the typed payload. Values must be JSON-encodable.
+	Fields map[string]any
+}
+
+// Emit appends a typed event to the log. Safe on a nil tracer (no-op);
+// beyond maxEvents new events are counted but dropped.
+func (t *Tracer) Emit(typ string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	ns := time.Since(t.epoch).Nanoseconds()
+	t.emu.Lock()
+	if len(t.events) < maxEvents {
+		t.events = append(t.events, Event{NS: ns, Type: typ, Fields: fields})
+	} else {
+		t.eventsDropped++
+	}
+	t.emu.Unlock()
+}
+
+// Events returns a snapshot copy of the event log in emission order.
+// Returns nil on a nil tracer.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.emu.Lock()
+	defer t.emu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// EventsDropped returns the number of events discarded after the log
+// filled.
+func (t *Tracer) EventsDropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.emu.Lock()
+	defer t.emu.Unlock()
+	return t.eventsDropped
+}
+
+// WriteEventsJSONL writes the event log as JSON Lines: one object per
+// event with "ts_ns" and "type" keys plus the event's fields flattened to
+// the top level (fields named ts_ns/type would be shadowed; event types
+// do not use those names). Keys within each line are sorted by
+// encoding/json's map ordering, so output is deterministic.
+func WriteEventsJSONL(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("obs: cannot export events from a nil tracer")
+	}
+	for _, ev := range t.Events() {
+		line := make(map[string]any, len(ev.Fields)+2)
+		for k, v := range ev.Fields {
+			line[k] = v
+		}
+		line["ts_ns"] = ev.NS
+		line["type"] = ev.Type
+		b, err := json.Marshal(line)
+		if err != nil {
+			return fmt.Errorf("obs: encode event %q: %w", ev.Type, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("obs: write event log: %w", err)
+		}
+	}
+	return nil
+}

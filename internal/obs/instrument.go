@@ -77,6 +77,36 @@ func (g *Gauge) stats() (last, min, max float64, n int64) {
 	return g.last, g.min, g.max, g.n
 }
 
+// Info is an atomic last-value instrument for strings: run-progress
+// identity like the cell currently training. All methods are safe on a
+// nil receiver.
+type Info struct {
+	mu   sync.Mutex
+	last string
+	n    int64
+}
+
+// Set records a new value.
+func (i *Info) Set(v string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.last = v
+	i.n++
+	i.mu.Unlock()
+}
+
+// Value returns the last set value (empty on a nil receiver).
+func (i *Info) Value() string {
+	if i == nil {
+		return ""
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.last
+}
+
 // Histogram bucket geometry: durations are bucketed by octave (power of
 // two of the nanosecond value) with histSub linear sub-buckets per octave,
 // giving a constant-time streaming histogram whose quantile estimates

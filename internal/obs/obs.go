@@ -26,6 +26,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,9 @@ type spanRec struct {
 	start time.Duration
 	dur   time.Duration
 	depth int32
+	// alloc is the TotalAlloc delta across the span when profiling mode
+	// sampled memory around it; zero otherwise.
+	alloc int64
 }
 
 // Tracer records spans and owns the instrument registry. The zero value
@@ -58,6 +62,17 @@ type Tracer struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	infos  map[string]*Info
+
+	// profiling gates per-op spans and memory sampling (see spans.go);
+	// peakHeap is the profiling-mode HeapAlloc watermark.
+	profiling atomic.Bool
+	peakHeap  atomic.Uint64
+
+	// emu guards the typed event log (see events.go).
+	emu           sync.Mutex
+	events        []Event
+	eventsDropped int64
 }
 
 // New constructs an enabled tracer whose span timestamps are measured
@@ -68,6 +83,7 @@ func New() *Tracer {
 		counts: make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
+		infos:  make(map[string]*Info),
 	}
 }
 
@@ -80,10 +96,17 @@ type Span struct {
 	cat   string
 	start time.Duration
 	depth int32
+	// allocStart is the TotalAlloc sample taken at open time in profiling
+	// mode; sampled marks it valid (TotalAlloc can legitimately be 0 only
+	// before any allocation, but the flag keeps the semantics exact).
+	allocStart uint64
+	sampled    bool
 }
 
 // Span opens a span under the given name and category. Category groups
-// related spans in the Chrome trace view ("engine", "data", "suite").
+// related spans in the Chrome trace view ("engine", "data", "suite"). In
+// profiling mode the open additionally samples the allocator so End can
+// record the span's allocation delta.
 func (t *Tracer) Span(name, cat string) Span {
 	if t == nil {
 		return Span{}
@@ -92,7 +115,13 @@ func (t *Tracer) Span(name, cat string) Span {
 	d := t.depth
 	t.depth++
 	t.mu.Unlock()
-	return Span{t: t, name: name, cat: cat, start: time.Since(t.epoch), depth: d}
+	s := Span{t: t, name: name, cat: cat, depth: d}
+	if t.profiling.Load() {
+		s.allocStart = t.memSample()
+		s.sampled = true
+	}
+	s.start = time.Since(t.epoch)
+	return s
 }
 
 // End closes the span, recording it and feeding the duration histogram
@@ -102,12 +131,18 @@ func (s Span) End() {
 		return
 	}
 	dur := time.Since(s.t.epoch) - s.start
+	var alloc int64
+	if s.sampled {
+		if end := s.t.memSample(); end > s.allocStart {
+			alloc = int64(end - s.allocStart)
+		}
+	}
 	s.t.mu.Lock()
 	if s.t.depth > 0 {
 		s.t.depth--
 	}
 	if len(s.t.spans) < maxSpans {
-		s.t.spans = append(s.t.spans, spanRec{name: s.name, cat: s.cat, start: s.start, dur: dur, depth: s.depth})
+		s.t.spans = append(s.t.spans, spanRec{name: s.name, cat: s.cat, start: s.start, dur: dur, depth: s.depth, alloc: alloc})
 	} else {
 		s.t.dropped++
 	}
@@ -182,4 +217,23 @@ func (t *Tracer) Histogram(name string) *Histogram {
 		t.hists[name] = h
 	}
 	return h
+}
+
+// Info returns the named string-valued instrument, creating it on first
+// use. Returns nil (a safe no-op handle) on a nil tracer. Infos carry
+// run-progress identity (current cell, scale name) that has no numeric
+// representation; they surface in /status JSON and as Prometheus info
+// metrics.
+func (t *Tracer) Info(name string) *Info {
+	if t == nil {
+		return nil
+	}
+	t.imu.Lock()
+	defer t.imu.Unlock()
+	i, ok := t.infos[name]
+	if !ok {
+		i = &Info{}
+		t.infos[name] = i
+	}
+	return i
 }

@@ -87,6 +87,31 @@ func BenchmarkDisabledCounter(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledProfilingCheck measures the per-pass profiling-mode
+// test the executors run on a live tracer with profiling off — the cost
+// the profiler adds to every forward/backward pass when not profiling.
+func BenchmarkDisabledProfilingCheck(b *testing.B) {
+	tr := obs.New()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if tr.ProfilingEnabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("profiling unexpectedly enabled")
+	}
+}
+
+// BenchmarkDisabledEmit measures the no-op event emission on a nil
+// tracer.
+func BenchmarkDisabledEmit(b *testing.B) {
+	var tr *obs.Tracer
+	for i := 0; i < b.N; i++ {
+		tr.Emit("x", nil)
+	}
+}
+
 // TestDisabledTracerOverheadUnderTwoPercent is the acceptance guard: the
 // disabled-tracer instrumentation added to a training iteration must cost
 // under 2% of the iteration itself. A training iteration makes a handful
@@ -110,20 +135,34 @@ func TestDisabledTracerOverheadUnderTwoPercent(t *testing.T) {
 	}
 	perIter := time.Since(start) / iters
 
-	// Measure the unit cost of the disabled instrumentation primitives.
+	// Measure the unit cost of the disabled instrumentation primitives:
+	// the nil span pair and counter add the hot paths always pay, the
+	// profiling-mode test each executor pass makes on a live tracer with
+	// profiling off (the default), and the nil event emission the loop
+	// boundaries pay without -events.
 	var tr *obs.Tracer
+	live := obs.New()
 	c := tr.Counter("x")
 	const ops = 1_000_000
+	profiled := 0
 	start = time.Now()
 	for i := 0; i < ops; i++ {
 		tr.Span("x", "t").End()
 		c.Add(1)
+		if live.ProfilingEnabled() {
+			profiled++
+		}
+		tr.Emit("x", nil)
 	}
 	perOp := time.Since(start) / ops
+	if profiled != 0 {
+		t.Fatal("profiling unexpectedly enabled")
+	}
 
-	// An instrumented iteration performs ~6 span pairs and ~6 counter
-	// adds across executor + suite + data layers; charge 100 to leave two
-	// orders of magnitude of headroom against scheduling noise.
+	// An instrumented iteration performs ~6 span pairs, ~6 counter adds
+	// and a few profiling checks across executor + suite + data layers;
+	// charge 100 to leave two orders of magnitude of headroom against
+	// scheduling noise.
 	const opsPerIter = 100
 	overhead := perOp * opsPerIter
 	limit := perIter / 50 // 2%

@@ -42,6 +42,7 @@ type Snapshot struct {
 	Counters  map[string]int64      `json:"counters,omitempty"`
 	Gauges    map[string]GaugeStats `json:"gauges,omitempty"`
 	Durations map[string]DurStats   `json:"durations,omitempty"`
+	Infos     map[string]string     `json:"infos,omitempty"`
 }
 
 // Snapshot captures the current state of all instruments. Returns nil on
@@ -66,6 +67,12 @@ func (t *Tracer) Snapshot() *Snapshot {
 	}
 	for name, h := range t.hists {
 		s.Durations[name] = h.stats()
+	}
+	if len(t.infos) > 0 {
+		s.Infos = make(map[string]string, len(t.infos))
+		for name, i := range t.infos {
+			s.Infos[name] = i.Value()
+		}
 	}
 	return s
 }
@@ -95,6 +102,14 @@ func Delta(prev, cur *Snapshot) *Snapshot {
 	for name, g := range cur.Gauges {
 		if p, ok := prev.Gauges[name]; !ok || g.N != p.N {
 			out.Gauges[name] = g
+		}
+	}
+	// Infos are identity, not arithmetic: the delta keeps cur's values
+	// (the cell a run-scoped delta describes is the run's own cell).
+	if len(cur.Infos) > 0 {
+		out.Infos = make(map[string]string, len(cur.Infos))
+		for name, v := range cur.Infos {
+			out.Infos[name] = v
 		}
 	}
 	for name, c := range cur.Durations {
@@ -178,6 +193,19 @@ func (s *Snapshot) GaugeNames() []string {
 	}
 	names := make([]string, 0, len(s.Gauges))
 	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// InfoNames returns the info keys sorted alphabetically.
+func (s *Snapshot) InfoNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Infos))
+	for n := range s.Infos {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// SpanInfo is the exported, immutable view of one recorded span, the raw
+// material of the attribution profiler (internal/profile). Times are
+// relative to the tracer epoch on the monotonic clock.
+type SpanInfo struct {
+	Name  string
+	Cat   string
+	Start time.Duration
+	Dur   time.Duration
+	Depth int
+	// AllocBytes is the heap-allocation delta (runtime.MemStats.TotalAlloc)
+	// observed across the span. Zero unless profiling mode sampled memory
+	// around the span; negative never occurs (TotalAlloc is monotonic).
+	AllocBytes int64
+}
+
+// Spans returns a snapshot copy of every retained span in end order.
+// Returns nil on a nil tracer.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanInfo, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = SpanInfo{
+			Name:       s.name,
+			Cat:        s.cat,
+			Start:      s.start,
+			Dur:        s.dur,
+			Depth:      int(s.depth),
+			AllocBytes: s.alloc,
+		}
+	}
+	return out
+}
+
+// EnableProfiling switches the tracer into profiling mode: executors emit
+// per-op spans, and every span open/close samples runtime.MemStats so
+// span records carry allocation deltas and the tracer tracks the peak
+// heap. Profiling costs real time (ReadMemStats briefly stops the world),
+// so it is opt-in on top of tracing; a nil tracer ignores the call.
+func (t *Tracer) EnableProfiling() {
+	if t == nil {
+		return
+	}
+	t.profiling.Store(true)
+}
+
+// ProfilingEnabled reports whether profiling mode is on. Safe on a nil
+// tracer (false) — the per-op fast path in the executors is a nil check
+// plus one atomic load.
+func (t *Tracer) ProfilingEnabled() bool {
+	return t != nil && t.profiling.Load()
+}
+
+// memSample reads the allocator state, folds the current heap size into
+// the peak-heap watermark, and returns the monotonic total-allocated
+// counter for span deltas.
+func (t *Tracer) memSample() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	peakMax(&t.peakHeap, ms.HeapAlloc)
+	return ms.TotalAlloc
+}
+
+// peakMax raises p to v if v is larger.
+func peakMax(p *atomic.Uint64, v uint64) {
+	for {
+		old := p.Load()
+		if v <= old || p.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// PeakHeapBytes returns the largest HeapAlloc observed by profiling-mode
+// memory samples since the last TakePeakHeap. Zero on a nil tracer or
+// when profiling never sampled.
+func (t *Tracer) PeakHeapBytes() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.peakHeap.Load()
+}
+
+// TakePeakHeap returns the current peak-heap watermark and resets it, so
+// the bench harness can attribute a peak to each cell of a sweep.
+func (t *Tracer) TakePeakHeap() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.peakHeap.Swap(0)
+}

@@ -1,0 +1,234 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// BenchSchemaVersion is the current BENCH_*.json schema. Readers accept
+// any version up to this one; the version bumps only on breaking layout
+// changes so older comparators fail loudly instead of misreading.
+const BenchSchemaVersion = 1
+
+// DefaultSlowdownPct is the regression threshold the comparator applies
+// when the caller does not override it: a metric that degrades by more
+// than this percentage fails the comparison.
+const DefaultSlowdownPct = 15.0
+
+// BenchOp is one row of a cell's top-of-profile summary.
+type BenchOp struct {
+	Name        string  `json:"name"`
+	SelfSeconds float64 `json:"self_s"`
+	SelfPct     float64 `json:"self_pct"`
+}
+
+// BenchCell is the measured outcome of one canonical benchmark cell.
+type BenchCell struct {
+	// Cell is the suite cell key — the stable join key for comparisons.
+	Cell string `json:"cell"`
+	// TrainWallSeconds and TestWallSeconds are measured host times at
+	// bench scale (lower is better).
+	TrainWallSeconds float64 `json:"train_wall_s"`
+	TestWallSeconds  float64 `json:"test_wall_s"`
+	// Iterations is the number of training iterations the cell ran;
+	// ItersPerSec the training throughput (higher is better).
+	Iterations  int64   `json:"iterations"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// PeakAllocBytes is the profiling-sampled HeapAlloc high-water mark
+	// during the cell (lower is better).
+	PeakAllocBytes uint64 `json:"peak_alloc_bytes"`
+	// AccuracyPct documents the run (not compared — accuracy has its own
+	// acceptance machinery).
+	AccuracyPct float64 `json:"accuracy_pct"`
+	// TopOps is the cell's top-5 attribution entries by self time.
+	TopOps []BenchOp `json:"top_ops,omitempty"`
+}
+
+// BenchReport is the schema-versioned document `dlbench bench` writes as
+// BENCH_<n>.json — one point of the repo's performance trajectory.
+type BenchReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	CreatedUnix   int64  `json:"created_unix"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	Scale         string `json:"scale"`
+	Seed          uint64 `json:"seed"`
+	Cells         []BenchCell `json:"cells"`
+}
+
+// WriteBenchReport encodes the report as indented JSON.
+func WriteBenchReport(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("profile: write bench report: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchReport decodes and validates a report.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var out BenchReport
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("profile: read bench report: %w", err)
+	}
+	if out.SchemaVersion < 1 || out.SchemaVersion > BenchSchemaVersion {
+		return nil, fmt.Errorf("profile: bench report schema version %d not supported (max %d)",
+			out.SchemaVersion, BenchSchemaVersion)
+	}
+	return &out, nil
+}
+
+// LoadBenchReport reads a report from disk.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: open bench report: %w", err)
+	}
+	defer f.Close()
+	r, err := ReadBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("profile: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Delta is one compared metric of one cell.
+type Delta struct {
+	Cell   string
+	Metric string
+	// Baseline and Current are the raw values; ChangePct is the signed
+	// percentage change current vs baseline in the metric's natural
+	// direction.
+	Baseline, Current float64
+	ChangePct         float64
+	// Regressed marks a change past the threshold in the bad direction
+	// (slower, fewer iters/sec, more peak memory).
+	Regressed bool
+}
+
+// Comparison is the outcome of comparing two bench reports.
+type Comparison struct {
+	ThresholdPct float64
+	Deltas       []Delta
+	// MissingCells are baseline cells absent from the current report —
+	// reported (a silently dropped cell would hide a regression) but not
+	// failed on, so the canonical matrix can evolve.
+	MissingCells []string
+}
+
+// benchMetric describes one compared metric: how to read it and whether
+// larger values are better.
+type benchMetric struct {
+	name         string
+	value        func(BenchCell) float64
+	higherBetter bool
+}
+
+var benchMetrics = []benchMetric{
+	{"train_wall_s", func(c BenchCell) float64 { return c.TrainWallSeconds }, false},
+	{"test_wall_s", func(c BenchCell) float64 { return c.TestWallSeconds }, false},
+	{"iters_per_sec", func(c BenchCell) float64 { return c.ItersPerSec }, true},
+	{"peak_alloc_bytes", func(c BenchCell) float64 { return float64(c.PeakAllocBytes) }, false},
+}
+
+// Compare joins two reports on cell key and evaluates every metric
+// against the threshold (DefaultSlowdownPct when thresholdPct <= 0).
+func Compare(baseline, current *BenchReport, thresholdPct float64) *Comparison {
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultSlowdownPct
+	}
+	cmp := &Comparison{ThresholdPct: thresholdPct}
+	cur := make(map[string]BenchCell, len(current.Cells))
+	for _, c := range current.Cells {
+		cur[c.Cell] = c
+	}
+	base := make([]BenchCell, len(baseline.Cells))
+	copy(base, baseline.Cells)
+	sort.Slice(base, func(i, j int) bool { return base[i].Cell < base[j].Cell })
+	for _, b := range base {
+		c, ok := cur[b.Cell]
+		if !ok {
+			cmp.MissingCells = append(cmp.MissingCells, b.Cell)
+			continue
+		}
+		for _, m := range benchMetrics {
+			bv, cv := m.value(b), m.value(c)
+			d := Delta{Cell: b.Cell, Metric: m.name, Baseline: bv, Current: cv}
+			if bv > 0 {
+				d.ChangePct = 100 * (cv - bv) / bv
+				if m.higherBetter {
+					d.Regressed = d.ChangePct < -thresholdPct
+				} else {
+					d.Regressed = d.ChangePct > thresholdPct
+				}
+			}
+			cmp.Deltas = append(cmp.Deltas, d)
+		}
+	}
+	return cmp
+}
+
+// Regressions returns only the failing deltas.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether any metric regressed past the threshold.
+func (c *Comparison) Failed() bool { return len(c.Regressions()) > 0 }
+
+// Format renders the readable delta report the comparator prints: one row
+// per (cell, metric), regressions marked, plus a verdict line.
+func (c *Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark comparison (threshold ±%.0f%%)\n\n", c.ThresholdPct)
+	tbl := metrics.NewTable("Cell", "Metric", "Baseline", "Current", "Change", "Verdict")
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		tbl.AddRow(d.Cell, d.Metric,
+			formatMetric(d.Metric, d.Baseline),
+			formatMetric(d.Metric, d.Current),
+			fmt.Sprintf("%+.1f%%", d.ChangePct),
+			verdict,
+		)
+	}
+	b.WriteString(tbl.String())
+	for _, cell := range c.MissingCells {
+		fmt.Fprintf(&b, "\nwarning: baseline cell %q missing from current report", cell)
+	}
+	if n := len(c.Regressions()); n > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d metric(s) regressed more than %.0f%%\n", n, c.ThresholdPct)
+	} else {
+		b.WriteString("\nPASS: no metric regressed past the threshold\n")
+	}
+	return b.String()
+}
+
+// formatMetric renders a metric value with its natural unit.
+func formatMetric(metric string, v float64) string {
+	switch metric {
+	case "peak_alloc_bytes":
+		return formatBytes(int64(v))
+	case "iters_per_sec":
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}

@@ -1,0 +1,153 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	return &BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		CreatedUnix:   1700000000,
+		GoVersion:     "go1.22",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		Scale:         "test",
+		Seed:          42,
+		Cells: []BenchCell{
+			{
+				Cell:             "TF TF MNIST on MNIST @GPU",
+				TrainWallSeconds: 1.0,
+				TestWallSeconds:  0.2,
+				Iterations:       100,
+				ItersPerSec:      100,
+				PeakAllocBytes:   1 << 20,
+				AccuracyPct:      90,
+				TopOps:           []BenchOp{{Name: "graph.forward", SelfSeconds: 0.4, SelfPct: 40}},
+			},
+			{
+				Cell:             "C C MNIST on MNIST @GPU",
+				TrainWallSeconds: 0.8,
+				TestWallSeconds:  0.1,
+				Iterations:       100,
+				ItersPerSec:      125,
+				PeakAllocBytes:   1 << 20,
+			},
+		},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != BenchSchemaVersion || len(back.Cells) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Cells[0].TopOps[0].Name != "graph.forward" {
+		t.Fatalf("top ops lost: %+v", back.Cells[0])
+	}
+}
+
+func TestBenchReportRejectsUnknownSchema(t *testing.T) {
+	r := sampleReport()
+	r.SchemaVersion = BenchSchemaVersion + 1
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(&buf); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if _, err := ReadBenchReport(strings.NewReader(`{"schema_version":0}`)); err == nil {
+		t.Fatal("zero schema version accepted")
+	}
+}
+
+func TestCompareDetectsSlowdowns(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	// Perturb cell 0: 30% slower training, 30% fewer iters/sec.
+	cur.Cells[0].TrainWallSeconds = 1.3
+	cur.Cells[0].ItersPerSec = 70
+
+	cmp := Compare(base, cur, 15)
+	if !cmp.Failed() {
+		t.Fatal("comparison did not fail on a 30% slowdown")
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	got := map[string]bool{}
+	for _, d := range regs {
+		got[d.Metric] = true
+		if d.Cell != "TF TF MNIST on MNIST @GPU" {
+			t.Fatalf("regression on wrong cell: %+v", d)
+		}
+	}
+	if !got["train_wall_s"] || !got["iters_per_sec"] {
+		t.Fatalf("regressed metrics = %v", got)
+	}
+	out := cmp.Format()
+	for _, want := range []string{"REGRESSED", "FAIL", "train_wall_s", "+30.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Cells[0].TrainWallSeconds = 1.1 // +10% < 15%
+	cur.Cells[1].ItersPerSec = 115      // faster is never a regression
+
+	cmp := Compare(base, cur, 0) // 0 -> DefaultSlowdownPct
+	if cmp.ThresholdPct != DefaultSlowdownPct {
+		t.Fatalf("threshold = %v", cmp.ThresholdPct)
+	}
+	if cmp.Failed() {
+		t.Fatalf("comparison failed within threshold: %+v", cmp.Regressions())
+	}
+	if !strings.Contains(cmp.Format(), "PASS") {
+		t.Fatal("report missing PASS verdict")
+	}
+}
+
+func TestCompareReportsMissingCells(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Cells = cur.Cells[:1]
+	cmp := Compare(base, cur, 15)
+	if len(cmp.MissingCells) != 1 || cmp.MissingCells[0] != "C C MNIST on MNIST @GPU" {
+		t.Fatalf("missing cells = %v", cmp.MissingCells)
+	}
+	if cmp.Failed() {
+		t.Fatal("missing cell must warn, not fail")
+	}
+	if !strings.Contains(cmp.Format(), "missing from current report") {
+		t.Fatal("report does not mention the missing cell")
+	}
+}
+
+func TestCompareZeroBaselineSkipsPct(t *testing.T) {
+	base := sampleReport()
+	base.Cells[0].PeakAllocBytes = 0
+	cur := sampleReport()
+	cmp := Compare(base, cur, 15)
+	for _, d := range cmp.Deltas {
+		if d.Metric == "peak_alloc_bytes" && d.Cell == base.Cells[0].Cell {
+			if d.Regressed || d.ChangePct != 0 {
+				t.Fatalf("zero baseline produced delta %+v", d)
+			}
+		}
+	}
+}
