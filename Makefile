@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test obs-overhead chaos bench bench-compare microbench trace-demo clean
+.PHONY: check vet build test obs-overhead chaos bench bench-compare bench-log microbench trace-demo clean
 
-check: vet build test obs-overhead chaos bench-compare
+check: vet build test obs-overhead chaos bench-compare bench-log
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +29,8 @@ test:
 
 # The acceptance guard from internal/obs: the nil-tracer fast path must
 # stay under 2% of a training iteration, and the disabled-primitive
-# benchmarks document the per-op cost.
+# benchmarks (including the nil resource-monitor reads) document the
+# per-op cost.
 obs-overhead:
 	$(GO) test ./internal/obs/ -count=1 -run TestDisabledTracerOverheadUnderTwoPercent -v
 	$(GO) test ./internal/obs/ -count=1 -run '^$$' -bench 'BenchmarkDisabled' -benchtime=100ms
@@ -44,11 +45,18 @@ chaos:
 		./internal/resilience/ ./internal/core/ ./internal/engine/ ./internal/tensor/
 
 # One point of the repo's performance trajectory: run the canonical
-# benchmark matrix (3 frameworks x 2 datasets, profiling mode) and write
-# the schema-versioned report at the repo root. Bump BENCH_OUT per PR.
-BENCH_OUT ?= BENCH_5.json
+# benchmark matrix (3 frameworks x 2 datasets, profiling mode with the
+# resource monitor on) and write the schema-versioned report at the
+# repo root. Bump BENCH_OUT per PR.
+BENCH_OUT ?= BENCH_6.json
 bench:
 	$(GO) run ./cmd/dlbench -scale test -quiet -bench-out $(BENCH_OUT) bench
+
+# Render the whole benchmark trajectory (every BENCH_*.json in numeric
+# order) as a table with per-cell iters/sec, peak-heap and CPU%
+# sparklines. Zero reports is not an error, so check can always run it.
+bench-log:
+	$(GO) run ./cmd/dlbench bench log .
 
 # Non-fatal trajectory check: when at least two BENCH_*.json reports
 # exist, compare the two newest. A regression prints a warning but does

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/framework"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/profile"
 )
@@ -44,13 +45,14 @@ func benchSpecs() []core.RunSpec {
 }
 
 // runBench executes the canonical matrix in profiling mode, measures each
-// cell (wall times, throughput, peak sampled heap, top-of-profile ops)
+// cell (wall times, throughput, peak sampled heap, top-of-profile ops,
+// and — via a per-cell monitor window — resource-utilization summaries)
 // and writes the schema-versioned benchmark report to cfg.outPath. When
 // cfg.baselinePath is set the new report is then compared against it and
 // a regression past the threshold is returned as errBenchRegression
 // (after the report and the readable delta table are written). w receives
 // the human-readable output.
-func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.Tracer, sink *progressSink, cfg benchConfig) error {
+func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.Tracer, sampler *monitor.Sampler, sink *progressSink, cfg benchConfig) error {
 	report := &profile.BenchReport{
 		SchemaVersion: profile.BenchSchemaVersion,
 		CreatedUnix:   time.Now().Unix(),
@@ -66,6 +68,7 @@ func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.T
 		}
 		spansBefore := tracer.SpanCount()
 		tracer.TakePeakHeap()
+		win := sampler.Mark()
 		row, err := suite.RunContext(ctx, spec)
 		if err != nil {
 			return fmt.Errorf("bench cell %s: %w", spec.CellKey(), err)
@@ -76,6 +79,7 @@ func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.T
 			TestWallSeconds:  row.Test.WallSeconds,
 			PeakAllocBytes:   tracer.TakePeakHeap(),
 			AccuracyPct:      row.AccuracyPct,
+			Util:             sampler.Since(win),
 		}
 		if row.Telemetry != nil {
 			cell.Iterations = row.Telemetry.Counters["suite.iterations"]
@@ -98,8 +102,14 @@ func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.T
 			})
 		}
 		report.Cells = append(report.Cells, cell)
-		sink.printf("bench cell %s: train %.2fs, %.1f iters/s, peak %.1f MiB",
-			cell.Cell, cell.TrainWallSeconds, cell.ItersPerSec, float64(cell.PeakAllocBytes)/(1<<20))
+		if cell.Util != nil {
+			sink.printf("bench cell %s: train %.2fs, %.1f iters/s, peak %.1f MiB, cpu %.0f%%",
+				cell.Cell, cell.TrainWallSeconds, cell.ItersPerSec,
+				float64(cell.PeakAllocBytes)/(1<<20), cell.Util.AvgCPUPct)
+		} else {
+			sink.printf("bench cell %s: train %.2fs, %.1f iters/s, peak %.1f MiB",
+				cell.Cell, cell.TrainWallSeconds, cell.ItersPerSec, float64(cell.PeakAllocBytes)/(1<<20))
+		}
 	}
 	f, err := os.Create(cfg.outPath)
 	if err != nil {
@@ -146,6 +156,44 @@ func compareReports(w io.Writer, baseline, current *profile.BenchReport, thresho
 	cmp := profile.Compare(baseline, current, thresholdPct)
 	fmt.Fprintln(w, cmp.Format())
 	if cmp.Failed() {
+		return fmt.Errorf("%w: %d metric(s)", errBenchRegression, len(cmp.Regressions()))
+	}
+	return nil
+}
+
+// runBenchLog renders the benchmark trajectory: every BENCH_*.json in dir
+// in numeric order, as an index table plus per-cell sparkline columns.
+// An empty directory is not an error — there is simply nothing to show.
+func runBenchLog(w io.Writer, dir string) error {
+	points, err := profile.LoadTrajectory(dir)
+	if err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		fmt.Fprintf(w, "no BENCH_*.json reports found in %s\n", dir)
+		return nil
+	}
+	fmt.Fprintln(w, profile.FormatTrajectory(points))
+	return nil
+}
+
+// runBenchDiff diffs two existing reports like `compare`, but also
+// attributes each timing regression to the specific ops whose self time
+// grew, via the top-of-profile tables both reports carry. A regression
+// past the threshold exits non-zero after the full diff is printed.
+func runBenchDiff(w io.Writer, baselinePath, currentPath string, thresholdPct float64) error {
+	baseline, err := profile.LoadBenchReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := profile.LoadBenchReport(currentPath)
+	if err != nil {
+		return err
+	}
+	out, regressed := profile.FormatDiff(baseline, current, thresholdPct)
+	fmt.Fprintln(w, out)
+	if regressed {
+		cmp := profile.Compare(baseline, current, thresholdPct)
 		return fmt.Errorf("%w: %d metric(s)", errBenchRegression, len(cmp.Regressions()))
 	}
 	return nil

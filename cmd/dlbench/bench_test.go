@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/profile"
 )
@@ -156,6 +157,19 @@ func TestBenchWritesReportAndComparatorFailsOnRegression(t *testing.T) {
 		if len(c.TopOps) == 0 {
 			t.Errorf("cell %s has no top-of-profile ops", c.Cell)
 		}
+		// Bench mode auto-monitors: every cell carries a utilization
+		// summary cut from the sampler's series. GC pauses may be zero on
+		// tiny cells, but the window itself must be populated.
+		if c.Util == nil {
+			t.Errorf("cell %s has no utilization summary (schema v2)", c.Cell)
+		} else {
+			if c.Util.Samples <= 0 {
+				t.Errorf("cell %s utilization has no samples: %+v", c.Cell, c.Util)
+			}
+			if c.Util.PeakHeapInuseBytes == 0 {
+				t.Errorf("cell %s utilization has no peak heap: %+v", c.Cell, c.Util)
+			}
+		}
 	}
 
 	// Self-comparison must pass.
@@ -218,7 +232,9 @@ func TestStatusAndMetricsEndpoints(t *testing.T) {
 	tr.Gauge("suite.iter").Set(41)
 	tr.Gauge("suite.epoch_idx").Set(3)
 	tr.Info("suite.cell").Set("TF TF mnist on mnist @GPU")
-	addr, err := startPprof("127.0.0.1:0", tr)
+	sm := monitor.New(monitor.Config{Tracer: tr})
+	sm.SampleOnce()
+	addr, err := startPprof("127.0.0.1:0", tr, sm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,6 +266,9 @@ func TestStatusAndMetricsEndpoints(t *testing.T) {
 		"dlbench_suite_iterations_total 7",
 		"dlbench_suite_loss 0.5",
 		`dlbench_suite_cell_info{value="TF TF mnist on mnist @GPU"} 1`,
+		// The sampler publishes its readings as live monitor.* gauges.
+		"dlbench_monitor_heap_inuse_bytes",
+		"dlbench_monitor_goroutines",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)
@@ -269,5 +288,96 @@ func TestStatusAndMetricsEndpoints(t *testing.T) {
 	}
 	if st.Counters["suite.iterations"] != 7 {
 		t.Errorf("/status counters = %v", st.Counters)
+	}
+	if st.Monitor == nil {
+		t.Fatalf("/status has no monitor sample: %s", body)
+	}
+	if st.Monitor.HeapInuseBytes == 0 || st.Monitor.Goroutines == 0 {
+		t.Errorf("/status monitor sample is empty: %+v", st.Monitor)
+	}
+}
+
+// TestBenchLogAndDiffSubcommands drives the query subcommands end to end
+// through run(): `bench log` renders a mixed v1/v2 trajectory from disk,
+// `bench diff` fails with per-op attribution on a doctored regression,
+// and both reject malformed argument lists.
+func TestBenchLogAndDiffSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	mkReport := func(name string, r *profile.BenchReport) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := profile.WriteBenchReport(f, r); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return path
+	}
+	v1 := &profile.BenchReport{SchemaVersion: 1, Cells: []profile.BenchCell{
+		{Cell: "c1", TrainWallSeconds: 1, TestWallSeconds: 0.5, Iterations: 100, ItersPerSec: 100,
+			PeakAllocBytes: 1 << 20, AccuracyPct: 95,
+			TopOps: []profile.BenchOp{{Name: "graph.op.conv1", SelfSeconds: 0.6, SelfPct: 60}}},
+	}}
+	v2 := &profile.BenchReport{SchemaVersion: 2, Cells: []profile.BenchCell{
+		{Cell: "c1", TrainWallSeconds: 2, TestWallSeconds: 0.5, Iterations: 100, ItersPerSec: 50,
+			PeakAllocBytes: 1 << 21, AccuracyPct: 95,
+			TopOps: []profile.BenchOp{{Name: "graph.op.conv1", SelfSeconds: 1.5, SelfPct: 75}},
+			Util:   &monitor.Summary{Samples: 4, AvgCPUPct: 80, PeakHeapInuseBytes: 1 << 21}},
+	}}
+	base := mkReport("BENCH_1.json", v1)
+	cur := mkReport("BENCH_2.json", v2)
+
+	// bench log over the directory must render both reports in order.
+	// run() prints to os.Stdout; exercise the renderer directly for
+	// content and the dispatcher for exit status.
+	var buf strings.Builder
+	if err := runBenchLog(&buf, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 report(s)", "BENCH_1.json", "BENCH_2.json", "Iters/s", "Peak heap", "CPU avg"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("bench log missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := run([]string{"bench", "log", dir}); err != nil {
+		t.Errorf("run bench log = %v", err)
+	}
+	if err := runBenchLog(&buf, t.TempDir()); err != nil {
+		t.Errorf("bench log over empty dir = %v", err)
+	}
+
+	// bench diff: v1 -> v2 halved throughput, so the diff must fail with
+	// errBenchRegression and attribute the slowdown to the grown op.
+	buf.Reset()
+	err := runBenchDiff(&buf, base, cur, 15)
+	if !errors.Is(err, errBenchRegression) {
+		t.Fatalf("bench diff err = %v, want errBenchRegression", err)
+	}
+	for _, want := range []string{"Attribution: c1", "graph.op.conv1", "Share of slowdown"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("bench diff missing %q:\n%s", want, buf.String())
+		}
+	}
+	if err := run([]string{"bench", "diff", base, cur}); !errors.Is(err, errBenchRegression) {
+		t.Errorf("run bench diff = %v, want errBenchRegression", err)
+	}
+	// Identical reports diff clean.
+	buf.Reset()
+	if err := runBenchDiff(&buf, cur, cur, 15); err != nil {
+		t.Errorf("self-diff = %v", err)
+	}
+
+	// Malformed argument lists are usage errors, not panics.
+	for _, args := range [][]string{
+		{"bench", "log", dir, "extra"},
+		{"bench", "diff", base},
+		{"bench", "frobnicate"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want usage error", args)
+		}
 	}
 }

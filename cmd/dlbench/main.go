@@ -9,9 +9,12 @@
 //	        [-json FILE] [-csv FILE] [-losscsv FILE]
 //	        [-trace FILE] [-telemetry] [-pprof ADDR]
 //	        [-profile FILE] [-profile-fold FILE] [-events FILE]
+//	        [-monitor] [-monitor-interval D]
 //	        [-timeout D] [-checkpoint-dir DIR] [-resume]
 //	        [-max-retries N] [-faults PLAN] <experiment>...
 //	dlbench bench [-bench-out FILE] [-baseline FILE] [-bench-threshold PCT]
+//	dlbench bench log [DIR]
+//	dlbench bench diff BASELINE CURRENT [-bench-threshold PCT]
 //	dlbench compare -baseline OLD -bench-out NEW
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
@@ -27,16 +30,26 @@
 // and writes the attribution profile (self/cumulative time per op, a
 // ".csv" path selects CSV); -profile-fold writes the same population in
 // folded-stack format for flamegraph.pl or speedscope. -events writes a
-// structured JSONL event log (run/epoch boundaries, resilience events).
-// All are off by default, and the instrumented hot paths are no-ops when
-// off.
+// structured JSONL event log (run/epoch boundaries, resilience events,
+// periodic monitor samples). -monitor starts the internal/monitor
+// resource sampler (heap in-use, goroutines, process CPU%, GC pause
+// quantiles) at -monitor-interval; its samples surface as live
+// monitor.* gauges on /metrics, the latest sample on /status, counter
+// tracks in the Chrome trace, and monitor.sample lines in the event
+// log. All are off by default, and the instrumented hot paths are
+// no-ops when off.
 //
 // Continuous benchmarking: `dlbench bench` runs the canonical baseline
-// matrix in profiling mode and writes a schema-versioned BENCH_*.json
-// report (-bench-out); with -baseline it also compares against a previous
-// report and exits non-zero when any metric regresses past
-// -bench-threshold percent. `dlbench compare` diffs two existing reports
-// without running anything.
+// matrix in profiling mode with the monitor on and writes a
+// schema-versioned BENCH_*.json report (-bench-out) whose cells carry
+// resource-utilization summaries (schema v2); with -baseline it also
+// compares against a previous report and exits non-zero when any metric
+// regresses past -bench-threshold percent. `dlbench compare` diffs two
+// existing reports without running anything. `dlbench bench log`
+// renders the whole BENCH_*.json trajectory as a table with per-cell
+// iters/sec, peak-heap and CPU% sparklines; `dlbench bench diff A B`
+// diffs two reports and attributes timing regressions to specific ops
+// via the recorded top-of-profile tables.
 //
 // Robustness: -timeout bounds the whole invocation and SIGINT cancels
 // it; both produce a well-formed partial report (completed rows, JSON/CSV
@@ -65,6 +78,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/framework"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/resilience"
@@ -106,6 +120,8 @@ func run(args []string) error {
 	profilePath := fs.String("profile", "", "enable per-op profiling and write the attribution profile to this file (a .csv extension selects CSV)")
 	profileFoldPath := fs.String("profile-fold", "", "enable per-op profiling and write folded stacks (flamegraph.pl format) to this file")
 	eventsPath := fs.String("events", "", "write the structured JSONL event log (run/epoch boundaries, resilience events) to this file")
+	monitorFlag := fs.Bool("monitor", false, "sample resource utilization (heap, goroutines, CPU%, GC pauses) while running; implied by bench mode")
+	monitorInterval := fs.Duration("monitor-interval", monitor.DefaultInterval, "resource-monitor sampling interval")
 	benchOut := fs.String("bench-out", "BENCH.json", "bench/compare: write (bench) or read (compare) the current benchmark report at this path")
 	baselinePath := fs.String("baseline", "", "bench/compare: compare against this previous benchmark report, exiting non-zero on regression")
 	benchThreshold := fs.Float64("bench-threshold", 0, "bench/compare: regression threshold in percent (0 selects the default 15)")
@@ -120,6 +136,27 @@ func run(args []string) error {
 	targets := fs.Args()
 	if len(targets) == 0 {
 		return fmt.Errorf("no experiments given; try: dlbench fig1, or dlbench all\nknown: %s", strings.Join(knownExperiments(), " "))
+	}
+	// Query subcommands over existing reports: neither runs anything, so
+	// they dispatch before any suite construction.
+	if targets[0] == "bench" && len(targets) > 1 {
+		switch targets[1] {
+		case "log":
+			dir := "."
+			if len(targets) == 3 {
+				dir = targets[2]
+			} else if len(targets) > 3 {
+				return fmt.Errorf("usage: dlbench bench log [DIR]")
+			}
+			return runBenchLog(os.Stdout, dir)
+		case "diff":
+			if len(targets) != 4 {
+				return fmt.Errorf("usage: dlbench bench diff BASELINE CURRENT")
+			}
+			return runBenchDiff(os.Stdout, targets[2], targets[3], *benchThreshold)
+		default:
+			return fmt.Errorf("unknown bench subcommand %q (known: log, diff)", targets[1])
+		}
 	}
 	scale, err := core.ScaleByName(*scaleName)
 	if err != nil {
@@ -169,18 +206,30 @@ func run(args []string) error {
 	}
 
 	profiling := *profilePath != "" || *profileFoldPath != "" || benchMode
+	// Bench mode always monitors: the schema-v2 report carries per-cell
+	// utilization summaries, so `dlbench bench` needs no extra flags.
+	monitoring := *monitorFlag || benchMode
 
 	// The tracer exists only when some consumer asked for it; otherwise
 	// every instrumented path stays on the documented no-op branch. The
-	// live endpoints (-pprof serves /metrics and /status) and the event
-	// log are consumers too.
+	// live endpoints (-pprof serves /metrics and /status), the event
+	// log and the resource monitor are consumers too.
 	var tracer *obs.Tracer
-	if *tracePath != "" || *telemetry || *pprofAddr != "" || *eventsPath != "" || profiling {
+	if *tracePath != "" || *telemetry || *pprofAddr != "" || *eventsPath != "" || profiling || monitoring {
 		tracer = obs.New()
 		suite.Obs = tracer
 	}
 	if profiling {
 		tracer.EnableProfiling()
+	}
+	// The sampler runs for the whole invocation; per-cell windows are cut
+	// out of its series by the bench harness. A nil sampler keeps every
+	// monitor-aware path on its no-op branch.
+	var sampler *monitor.Sampler
+	if monitoring {
+		sampler = monitor.New(monitor.Config{Interval: *monitorInterval, Tracer: tracer})
+		sampler.Start()
+		defer sampler.Stop()
 	}
 	// Open every output file before training so an unwritable path fails
 	// in milliseconds, not after a multi-minute sweep.
@@ -206,7 +255,7 @@ func run(args []string) error {
 		defer f.Close()
 	}
 	if *pprofAddr != "" {
-		ln, err := startPprof(*pprofAddr, tracer)
+		ln, err := startPprof(*pprofAddr, tracer, sampler)
 		if err != nil {
 			return err
 		}
@@ -223,7 +272,7 @@ func run(args []string) error {
 	// artifact before the process exits non-zero.
 	var benchErr error
 	if benchMode {
-		benchErr = runBench(ctx, os.Stdout, suite, tracer, sink, benchConfig{
+		benchErr = runBench(ctx, os.Stdout, suite, tracer, sampler, sink, benchConfig{
 			scale:        *scaleName,
 			seed:         *seed,
 			outPath:      *benchOut,
@@ -325,9 +374,10 @@ func run(args []string) error {
 // background, returning the bound address: net/http/pprof (via the
 // default mux its import registered on), /metrics (Prometheus text
 // exposition of the tracer's instruments) and /status (a JSON progress
-// document). A fresh mux per call keeps repeated starts (tests) from
+// document, including the latest resource-monitor sample when sm is
+// live). A fresh mux per call keeps repeated starts (tests) from
 // double-registering paths.
-func startPprof(addr string, tr *obs.Tracer) (string, error) {
+func startPprof(addr string, tr *obs.Tracer, sm *monitor.Sampler) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/pprof/", http.DefaultServeMux)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -339,7 +389,7 @@ func startPprof(addr string, tr *obs.Tracer) (string, error) {
 	start := time.Now()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(statusView(tr, time.Since(start))); err != nil {
+		if err := json.NewEncoder(w).Encode(statusView(tr, sm, time.Since(start))); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -353,7 +403,8 @@ func startPprof(addr string, tr *obs.Tracer) (string, error) {
 }
 
 // status is the JSON document served at /status: where the sweep is right
-// now (cell, epoch, iteration, loss) plus the counter totals.
+// now (cell, epoch, iteration, loss) plus the counter totals and, when
+// the monitor is on, the latest resource sample.
 type status struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Cell          string            `json:"cell,omitempty"`
@@ -362,15 +413,19 @@ type status struct {
 	Iteration     int64             `json:"iteration"`
 	Loss          float64           `json:"loss"`
 	AccuracyPct   float64           `json:"accuracy_pct"`
+	Monitor       *monitor.Sample   `json:"monitor,omitempty"`
 	Counters      map[string]int64  `json:"counters,omitempty"`
 	Infos         map[string]string `json:"infos,omitempty"`
 }
 
 // statusView assembles the /status document from a snapshot. NaN losses
 // (diverged runs) are zeroed: encoding/json cannot represent them.
-func statusView(tr *obs.Tracer, uptime time.Duration) status {
+func statusView(tr *obs.Tracer, sm *monitor.Sampler, uptime time.Duration) status {
 	s := tr.Snapshot()
 	st := status{UptimeSeconds: uptime.Seconds()}
+	if latest, ok := sm.Latest(); ok {
+		st.Monitor = &latest
+	}
 	if s == nil {
 		return st
 	}

@@ -1,0 +1,42 @@
+package monitor
+
+import (
+	"runtime/metrics"
+	"sync"
+)
+
+// cpuReader reads the process's cumulative CPU time in seconds. ok is
+// false when the source is unavailable, in which case CPU columns stay
+// zero rather than failing the sampler.
+type cpuReader interface {
+	processCPUSeconds() (secs float64, ok bool)
+}
+
+// goRuntimeCPU is the portable fallback: the Go runtime's own CPU-time
+// accounting from runtime/metrics. It covers user Go code, GC and
+// scavenger time — an estimate the runtime documents as comparable only
+// with itself, which is exactly how the sampler uses it (rates from
+// deltas of one source).
+type goRuntimeCPU struct {
+	mu    sync.Mutex // the reusable read batch is not concurrency-safe
+	reads []metrics.Sample
+}
+
+func newGoRuntimeCPU() *goRuntimeCPU {
+	return &goRuntimeCPU{reads: []metrics.Sample{
+		{Name: "/cpu/classes/user:cpu-seconds"},
+		{Name: "/cpu/classes/gc/total:cpu-seconds"},
+		{Name: "/cpu/classes/scavenge/total:cpu-seconds"},
+	}}
+}
+
+func (g *goRuntimeCPU) processCPUSeconds() (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	metrics.Read(g.reads)
+	var sum float64
+	for _, r := range g.reads {
+		sum += r.Value.Float64()
+	}
+	return sum, true
+}

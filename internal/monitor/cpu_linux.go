@@ -1,0 +1,57 @@
+//go:build linux
+
+package monitor
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// procClockTick is the kernel's USER_HZ, the unit of the utime/stime
+// fields in /proc/self/stat. It is 100 on every mainstream Linux
+// configuration; reading the real value (sysconf(_SC_CLK_TCK)) needs
+// cgo, which this repository deliberately avoids.
+const procClockTick = 100
+
+// procStatCPU reads cumulative user+system CPU time from
+// /proc/self/stat — the whole-process view (all threads, system time
+// included) the paper's utilization columns call for, as opposed to the
+// Go runtime's user-code estimate.
+type procStatCPU struct{}
+
+func (procStatCPU) processCPUSeconds() (float64, bool) {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, false
+	}
+	// The comm field (2nd) may contain spaces and parentheses; fields
+	// are positional only after the last ')'.
+	i := bytes.LastIndexByte(b, ')')
+	if i < 0 || i+2 >= len(b) {
+		return 0, false
+	}
+	fields := strings.Fields(string(b[i+2:]))
+	// After comm, field 0 is state (overall field 3); utime and stime
+	// are overall fields 14 and 15 → indices 11 and 12 here.
+	if len(fields) < 13 {
+		return 0, false
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, false
+	}
+	return float64(utime+stime) / procClockTick, true
+}
+
+// newCPUReader prefers /proc/self/stat and falls back to the
+// runtime/metrics estimate when procfs is unreadable (e.g. a locked-down
+// sandbox).
+func newCPUReader() cpuReader {
+	if _, ok := (procStatCPU{}).processCPUSeconds(); ok {
+		return procStatCPU{}
+	}
+	return newGoRuntimeCPU()
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package monitor
+
+// newCPUReader returns the portable runtime/metrics CPU reader on
+// platforms without /proc/self/stat.
+func newCPUReader() cpuReader { return newGoRuntimeCPU() }

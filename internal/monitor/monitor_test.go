@@ -1,0 +1,229 @@
+package monitor
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// spin burns CPU for roughly d so CPU-time readers have something to
+// measure.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := 1.0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x *= 1.0000001
+		}
+	}
+	_ = x
+}
+
+func TestNilSamplerIsSafe(t *testing.T) {
+	var s *Sampler
+	if s.Enabled() {
+		t.Fatal("nil sampler reports enabled")
+	}
+	s.Start()
+	s.Stop()
+	if smp := s.SampleOnce(); smp != (Sample{}) {
+		t.Fatalf("nil SampleOnce = %+v", smp)
+	}
+	if _, ok := s.Latest(); ok {
+		t.Fatal("nil Latest reported ok")
+	}
+	if got := s.Samples(); got != nil {
+		t.Fatalf("nil Samples = %v", got)
+	}
+	if sum := s.Since(s.Mark()); sum != nil {
+		t.Fatalf("nil Since = %+v", sum)
+	}
+	if s.Summary() != nil {
+		t.Fatal("nil Summary non-nil")
+	}
+	if s.Interval() != 0 {
+		t.Fatal("nil Interval non-zero")
+	}
+}
+
+func TestSampleOnceReadsResources(t *testing.T) {
+	s := New(Config{})
+	smp := s.SampleOnce()
+	if smp.HeapInuseBytes == 0 || smp.HeapLiveBytes == 0 {
+		t.Errorf("sample has no heap reading: %+v", smp)
+	}
+	if smp.HeapInuseBytes < smp.HeapLiveBytes {
+		t.Errorf("heap in-use %d < live %d", smp.HeapInuseBytes, smp.HeapLiveBytes)
+	}
+	if smp.Goroutines < 1 {
+		t.Errorf("goroutines = %d", smp.Goroutines)
+	}
+	latest, ok := s.Latest()
+	if !ok || latest != smp {
+		t.Errorf("Latest = %+v ok=%v, want the sample just taken", latest, ok)
+	}
+}
+
+func TestStartStopCollectsSeries(t *testing.T) {
+	s := New(Config{Interval: 2 * time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	// Sleep rather than spin: on a single-core host a busy loop starves
+	// the sampling goroutine.
+	time.Sleep(40 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+	samples := s.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("collected %d samples in 40ms at 2ms interval", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].NS < samples[i-1].NS {
+			t.Fatalf("samples out of order: %d before %d", samples[i].NS, samples[i-1].NS)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := New(Config{RingSize: 4})
+	var last Sample
+	for i := 0; i < 10; i++ {
+		last = s.SampleOnce()
+	}
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("ring retained %d samples, want 4", len(samples))
+	}
+	if samples[len(samples)-1] != last {
+		t.Fatalf("latest retained sample %+v != last taken %+v", samples[len(samples)-1], last)
+	}
+}
+
+func TestWindowSummary(t *testing.T) {
+	s := New(Config{Interval: 2 * time.Millisecond})
+	s.Start()
+	defer s.Stop()
+	win := s.Mark()
+	// Allocate visibly and burn CPU inside the window.
+	buf := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		buf = append(buf, make([]byte, 1<<20))
+	}
+	spin(30 * time.Millisecond)
+	runtime.KeepAlive(buf)
+	sum := s.Since(win)
+	if sum == nil {
+		t.Fatal("Since returned nil on a live sampler")
+	}
+	if sum.Samples == 0 {
+		t.Fatal("window summary has no samples")
+	}
+	if sum.WindowSeconds <= 0 {
+		t.Errorf("window seconds = %v", sum.WindowSeconds)
+	}
+	if sum.PeakHeapInuseBytes < sum.AvgHeapInuseBytes || sum.AvgHeapInuseBytes == 0 {
+		t.Errorf("heap summary inconsistent: avg %d peak %d", sum.AvgHeapInuseBytes, sum.PeakHeapInuseBytes)
+	}
+	if sum.PeakGoroutines < 1 || sum.AvgGoroutines <= 0 {
+		t.Errorf("goroutine summary: avg %v peak %d", sum.AvgGoroutines, sum.PeakGoroutines)
+	}
+	if sum.AvgCPUPct <= 0 {
+		t.Errorf("avg cpu%% = %v after 30ms spin", sum.AvgCPUPct)
+	}
+	if sum.PeakCPUPct < 0 {
+		t.Errorf("peak cpu%% = %v", sum.PeakCPUPct)
+	}
+}
+
+// TestWindowShorterThanInterval: Since must still represent a window
+// that closed before the first ticker fire, via its synchronous closing
+// sample.
+func TestWindowShorterThanInterval(t *testing.T) {
+	s := New(Config{Interval: time.Hour})
+	win := s.Mark()
+	sum := s.Since(win)
+	if sum.Samples == 0 {
+		t.Fatal("sub-interval window has no samples")
+	}
+}
+
+func TestWholeRunSummary(t *testing.T) {
+	s := New(Config{})
+	s.SampleOnce()
+	spin(10 * time.Millisecond)
+	s.SampleOnce()
+	sum := s.Summary()
+	if sum.Samples < 2 {
+		t.Fatalf("summary over %d samples", sum.Samples)
+	}
+	if sum.AvgHeapInuseBytes == 0 {
+		t.Error("whole-run summary lost heap average")
+	}
+}
+
+func TestGCPauseQuantilesAfterForcedGC(t *testing.T) {
+	s := New(Config{})
+	win := s.Mark()
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	sum := s.Since(win)
+	if sum.GCCount < 3 {
+		t.Fatalf("window saw %d GC cycles, want >= 3 (forced)", sum.GCCount)
+	}
+	if sum.GCPauseP99NS <= 0 || sum.GCPauseP50NS <= 0 {
+		t.Errorf("GC pause quantiles empty after forced GC: p50=%d p99=%d", sum.GCPauseP50NS, sum.GCPauseP99NS)
+	}
+	if sum.GCPauseP99NS < sum.GCPauseP50NS {
+		t.Errorf("p99 %d < p50 %d", sum.GCPauseP99NS, sum.GCPauseP50NS)
+	}
+}
+
+func TestCPUReaderIsMonotonic(t *testing.T) {
+	r := newCPUReader()
+	a, ok := r.processCPUSeconds()
+	if !ok {
+		t.Skip("no CPU reader available on this platform")
+	}
+	spin(20 * time.Millisecond)
+	b, ok := r.processCPUSeconds()
+	if !ok {
+		t.Fatal("CPU reader became unavailable")
+	}
+	if b < a {
+		t.Fatalf("CPU time went backwards: %v -> %v", a, b)
+	}
+}
+
+func TestSamplerFeedsTracerGaugesAndEvents(t *testing.T) {
+	tr := obs.New()
+	s := New(Config{Tracer: tr})
+	s.SampleOnce()
+	snap := tr.Snapshot()
+	for _, g := range []string{
+		"monitor.heap_inuse_bytes", "monitor.heap_live_bytes",
+		"monitor.goroutines", "monitor.cpu_pct",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("tracer missing gauge %q (have %v)", g, snap.GaugeNames())
+		}
+	}
+	if snap.Gauges["monitor.heap_inuse_bytes"].Last <= 0 {
+		t.Error("heap gauge not set")
+	}
+	events := tr.Events()
+	found := false
+	for _, ev := range events {
+		if ev.Type == "monitor.sample" {
+			found = true
+			if _, ok := ev.Fields["heap_inuse_bytes"]; !ok {
+				t.Errorf("monitor.sample event missing heap field: %v", ev.Fields)
+			}
+		}
+	}
+	if !found {
+		t.Error("no monitor.sample event emitted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // ChromeEvent is one trace_event record in Chrome's JSON Object Format.
@@ -31,6 +32,9 @@ type ChromeTrace struct {
 
 // WriteChromeTrace exports every retained span (plus a final metadata
 // record of the counters) as a Chrome trace_event JSON document.
+// Resource-monitor samples in the event log additionally export as "C"
+// (counter) records, so heap/goroutine/CPU series render as tracks on
+// the same timeline as the spans they correlate with.
 func WriteChromeTrace(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return fmt.Errorf("obs: cannot export a nil tracer")
@@ -55,6 +59,30 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 	dropped := t.dropped
 	t.mu.Unlock()
 
+	for _, ev := range t.Events() {
+		if !strings.HasPrefix(ev.Type, "monitor.") {
+			continue
+		}
+		args := make(map[string]any, len(ev.Fields))
+		for k, v := range ev.Fields {
+			if n, ok := numericArg(v); ok {
+				args[k] = n
+			}
+		}
+		if len(args) == 0 {
+			continue
+		}
+		events = append(events, ChromeEvent{
+			Name: ev.Type,
+			Cat:  "monitor",
+			Ph:   "C",
+			TS:   float64(ev.NS) / 1e3,
+			PID:  1,
+			TID:  1,
+			Args: args,
+		})
+	}
+
 	doc := ChromeTrace{
 		TraceEvents:     events,
 		DisplayTimeUnit: "ms",
@@ -72,4 +100,21 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 		return fmt.Errorf("obs: write chrome trace: %w", err)
 	}
 	return nil
+}
+
+// numericArg converts an event field to a counter value. Counter tracks
+// only render numbers; anything else is dropped from the record.
+func numericArg(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float64:
+		return n, true
+	default:
+		return 0, false
+	}
 }

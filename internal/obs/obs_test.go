@@ -261,3 +261,53 @@ func TestWriteChromeTraceFormat(t *testing.T) {
 		t.Fatalf("dur = %v µs, want >= 50", ev["dur"])
 	}
 }
+
+// TestWriteChromeTraceMonitorCounters: monitor.* events export as "C"
+// counter records with only their numeric fields, on the span timeline.
+func TestWriteChromeTraceMonitorCounters(t *testing.T) {
+	tr := New()
+	tr.Span("train", "suite").End()
+	tr.Emit("monitor.sample", map[string]any{
+		"heap_inuse_bytes": uint64(1 << 20),
+		"cpu_pct":          42.5,
+		"goroutines":       int64(8),
+		"note":             "not numeric",
+	})
+	tr.Emit("run.start", map[string]any{"cell": "x"}) // not a monitor event
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var counters int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "C" {
+			continue
+		}
+		counters++
+		if ev.Name != "monitor.sample" || ev.Cat != "monitor" {
+			t.Fatalf("counter event = %+v", ev)
+		}
+		for _, k := range []string{"heap_inuse_bytes", "cpu_pct", "goroutines"} {
+			if _, ok := ev.Args[k].(float64); !ok {
+				t.Errorf("counter missing numeric arg %q: %v", k, ev.Args)
+			}
+		}
+		if _, ok := ev.Args["note"]; ok {
+			t.Error("non-numeric field leaked into counter args")
+		}
+	}
+	if counters != 1 {
+		t.Fatalf("counter events = %d, want 1 (run.start must not export)", counters)
+	}
+}

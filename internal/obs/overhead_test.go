@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/framework"
+	"repro/internal/monitor"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -112,6 +113,30 @@ func BenchmarkDisabledEmit(b *testing.B) {
 	}
 }
 
+// BenchmarkDisabledMonitorLatest measures the no-op latest-sample read
+// on a nil sampler — the unit cost status/exposition paths pay when
+// -monitor is off.
+func BenchmarkDisabledMonitorLatest(b *testing.B) {
+	var sm *monitor.Sampler
+	for i := 0; i < b.N; i++ {
+		if _, ok := sm.Latest(); ok {
+			b.Fatal("nil sampler produced a sample")
+		}
+	}
+}
+
+// BenchmarkDisabledMonitorWindow measures the no-op Mark/Since pair on
+// a nil sampler — the per-cell cost the bench harness pays when the
+// monitor is disabled.
+func BenchmarkDisabledMonitorWindow(b *testing.B) {
+	var sm *monitor.Sampler
+	for i := 0; i < b.N; i++ {
+		if sum := sm.Since(sm.Mark()); sum != nil {
+			b.Fatal("nil sampler produced a summary")
+		}
+	}
+}
+
 // TestDisabledTracerOverheadUnderTwoPercent is the acceptance guard: the
 // disabled-tracer instrumentation added to a training iteration must cost
 // under 2% of the iteration itself. A training iteration makes a handful
@@ -138,9 +163,11 @@ func TestDisabledTracerOverheadUnderTwoPercent(t *testing.T) {
 	// Measure the unit cost of the disabled instrumentation primitives:
 	// the nil span pair and counter add the hot paths always pay, the
 	// profiling-mode test each executor pass makes on a live tracer with
-	// profiling off (the default), and the nil event emission the loop
-	// boundaries pay without -events.
+	// profiling off (the default), the nil event emission the loop
+	// boundaries pay without -events, and the nil-sampler reads the
+	// monitor-aware paths pay without -monitor.
 	var tr *obs.Tracer
+	var sm *monitor.Sampler
 	live := obs.New()
 	c := tr.Counter("x")
 	const ops = 1_000_000
@@ -153,6 +180,9 @@ func TestDisabledTracerOverheadUnderTwoPercent(t *testing.T) {
 			profiled++
 		}
 		tr.Emit("x", nil)
+		if _, ok := sm.Latest(); ok {
+			profiled++
+		}
 	}
 	perOp := time.Since(start) / ops
 	if profiled != 0 {

@@ -10,12 +10,18 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/monitor"
 )
 
 // BenchSchemaVersion is the current BENCH_*.json schema. Readers accept
 // any version up to this one; the version bumps only on breaking layout
 // changes so older comparators fail loudly instead of misreading.
-const BenchSchemaVersion = 1
+//
+// v2 added the optional per-cell "util" section (resource-utilization
+// summaries from internal/monitor). v1 reports remain loadable: a
+// missing util section simply yields no utilization metrics, so mixed
+// v1/v2 trajectories and diffs degrade gracefully.
+const BenchSchemaVersion = 2
 
 // DefaultSlowdownPct is the regression threshold the comparator applies
 // when the caller does not override it: a metric that degrades by more
@@ -49,6 +55,10 @@ type BenchCell struct {
 	AccuracyPct float64 `json:"accuracy_pct"`
 	// TopOps is the cell's top-5 attribution entries by self time.
 	TopOps []BenchOp `json:"top_ops,omitempty"`
+	// Util is the cell's resource-utilization summary (avg/peak heap and
+	// CPU%, GC pause quantiles) sampled by internal/monitor while the
+	// cell ran. Nil in schema-v1 reports and when monitoring was off.
+	Util *monitor.Summary `json:"util,omitempty"`
 }
 
 // BenchReport is the schema-versioned document `dlbench bench` writes as
@@ -125,19 +135,33 @@ type Comparison struct {
 	MissingCells []string
 }
 
-// benchMetric describes one compared metric: how to read it and whether
-// larger values are better.
+// benchMetric describes one compared metric: how to read it, whether
+// larger values are better, and whether a change past the threshold
+// fails the comparison. Ungated metrics (utilization context like CPU%)
+// are reported in the delta table but never regress — a benchmark that
+// uses *more* of the machine is not by itself slower.
 type benchMetric struct {
 	name         string
 	value        func(BenchCell) float64
 	higherBetter bool
+	gated        bool
 }
 
 var benchMetrics = []benchMetric{
-	{"train_wall_s", func(c BenchCell) float64 { return c.TrainWallSeconds }, false},
-	{"test_wall_s", func(c BenchCell) float64 { return c.TestWallSeconds }, false},
-	{"iters_per_sec", func(c BenchCell) float64 { return c.ItersPerSec }, true},
-	{"peak_alloc_bytes", func(c BenchCell) float64 { return float64(c.PeakAllocBytes) }, false},
+	{"train_wall_s", func(c BenchCell) float64 { return c.TrainWallSeconds }, false, true},
+	{"test_wall_s", func(c BenchCell) float64 { return c.TestWallSeconds }, false, true},
+	{"iters_per_sec", func(c BenchCell) float64 { return c.ItersPerSec }, true, true},
+	{"peak_alloc_bytes", func(c BenchCell) float64 { return float64(c.PeakAllocBytes) }, false, true},
+}
+
+// utilMetrics are compared only when both cells carry a util section
+// (both reports schema v2 with monitoring on); a v1 side silently
+// contributes no utilization rows.
+var utilMetrics = []benchMetric{
+	{"peak_heap_inuse_bytes", func(c BenchCell) float64 { return float64(c.Util.PeakHeapInuseBytes) }, false, true},
+	{"avg_heap_inuse_bytes", func(c BenchCell) float64 { return float64(c.Util.AvgHeapInuseBytes) }, false, false},
+	{"avg_cpu_pct", func(c BenchCell) float64 { return c.Util.AvgCPUPct }, false, false},
+	{"gc_pause_p99_ns", func(c BenchCell) float64 { return float64(c.Util.GCPauseP99NS) }, false, false},
 }
 
 // Compare joins two reports on cell key and evaluates every metric
@@ -160,15 +184,21 @@ func Compare(baseline, current *BenchReport, thresholdPct float64) *Comparison {
 			cmp.MissingCells = append(cmp.MissingCells, b.Cell)
 			continue
 		}
-		for _, m := range benchMetrics {
+		ms := benchMetrics
+		if b.Util != nil && c.Util != nil {
+			ms = append(append([]benchMetric{}, benchMetrics...), utilMetrics...)
+		}
+		for _, m := range ms {
 			bv, cv := m.value(b), m.value(c)
 			d := Delta{Cell: b.Cell, Metric: m.name, Baseline: bv, Current: cv}
 			if bv > 0 {
 				d.ChangePct = 100 * (cv - bv) / bv
-				if m.higherBetter {
-					d.Regressed = d.ChangePct < -thresholdPct
-				} else {
-					d.Regressed = d.ChangePct > thresholdPct
+				if m.gated {
+					if m.higherBetter {
+						d.Regressed = d.ChangePct < -thresholdPct
+					} else {
+						d.Regressed = d.ChangePct > thresholdPct
+					}
 				}
 			}
 			cmp.Deltas = append(cmp.Deltas, d)
@@ -224,10 +254,14 @@ func (c *Comparison) Format() string {
 // formatMetric renders a metric value with its natural unit.
 func formatMetric(metric string, v float64) string {
 	switch metric {
-	case "peak_alloc_bytes":
+	case "peak_alloc_bytes", "peak_heap_inuse_bytes", "avg_heap_inuse_bytes":
 		return formatBytes(int64(v))
 	case "iters_per_sec":
 		return strconv.FormatFloat(v, 'f', 1, 64)
+	case "avg_cpu_pct":
+		return strconv.FormatFloat(v, 'f', 1, 64) + "%"
+	case "gc_pause_p99_ns":
+		return formatNS(int64(v))
 	default:
 		return strconv.FormatFloat(v, 'f', 4, 64)
 	}

@@ -1,0 +1,153 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// OpDelta is the change in one op's self time between two reports'
+// top-of-profile tables for the same cell.
+type OpDelta struct {
+	Op                string
+	BaselineSelfS     float64
+	CurrentSelfS      float64
+	DeltaSeconds      float64
+	// SharePct is this op's portion of the cell's train wall-time
+	// growth, when that growth is positive; zero otherwise.
+	SharePct float64
+}
+
+// CellAttribution explains one regressed cell: which timing metrics
+// tripped the threshold and which ops' self time moved. Ops absent from
+// one side's top table are treated as zero on that side — the top-5
+// tables don't cover every op, so shares are a lower-bound attribution,
+// not an exact decomposition.
+type CellAttribution struct {
+	Cell string
+	// Metrics lists the regressed timing metrics ("train_wall_s", ...).
+	Metrics []string
+	// TrainDeltaSeconds is current minus baseline train wall time.
+	TrainDeltaSeconds float64
+	Ops               []OpDelta
+}
+
+// timingMetrics are the comparison metrics whose regression warrants
+// per-op attribution (memory metrics regress for different reasons).
+var timingMetrics = map[string]bool{
+	"train_wall_s":  true,
+	"test_wall_s":   true,
+	"iters_per_sec": true,
+}
+
+// AttributeOps joins the top-op tables of both reports for every cell
+// with a regressed timing metric, producing per-op self-time deltas
+// sorted by largest slowdown first.
+func AttributeOps(baseline, current *BenchReport, cmp *Comparison) []CellAttribution {
+	regressed := make(map[string][]string)
+	for _, d := range cmp.Regressions() {
+		if timingMetrics[d.Metric] {
+			regressed[d.Cell] = append(regressed[d.Cell], d.Metric)
+		}
+	}
+	if len(regressed) == 0 {
+		return nil
+	}
+	baseCells := make(map[string]BenchCell, len(baseline.Cells))
+	for _, c := range baseline.Cells {
+		baseCells[c.Cell] = c
+	}
+	curCells := make(map[string]BenchCell, len(current.Cells))
+	for _, c := range current.Cells {
+		curCells[c.Cell] = c
+	}
+
+	cells := make([]string, 0, len(regressed))
+	for cell := range regressed {
+		cells = append(cells, cell)
+	}
+	sort.Strings(cells)
+
+	var out []CellAttribution
+	for _, cell := range cells {
+		b, c := baseCells[cell], curCells[cell]
+		att := CellAttribution{
+			Cell:              cell,
+			Metrics:           regressed[cell],
+			TrainDeltaSeconds: c.TrainWallSeconds - b.TrainWallSeconds,
+		}
+		sort.Strings(att.Metrics)
+		selfB := make(map[string]float64, len(b.TopOps))
+		for _, op := range b.TopOps {
+			selfB[op.Name] = op.SelfSeconds
+		}
+		names := make(map[string]bool, len(b.TopOps)+len(c.TopOps))
+		for _, op := range b.TopOps {
+			names[op.Name] = true
+		}
+		selfC := make(map[string]float64, len(c.TopOps))
+		for _, op := range c.TopOps {
+			selfC[op.Name] = op.SelfSeconds
+			names[op.Name] = true
+		}
+		for name := range names {
+			d := OpDelta{
+				Op:            name,
+				BaselineSelfS: selfB[name],
+				CurrentSelfS:  selfC[name],
+			}
+			d.DeltaSeconds = d.CurrentSelfS - d.BaselineSelfS
+			if att.TrainDeltaSeconds > 0 && d.DeltaSeconds > 0 {
+				d.SharePct = 100 * d.DeltaSeconds / att.TrainDeltaSeconds
+			}
+			att.Ops = append(att.Ops, d)
+		}
+		sort.Slice(att.Ops, func(i, j int) bool {
+			if att.Ops[i].DeltaSeconds != att.Ops[j].DeltaSeconds {
+				return att.Ops[i].DeltaSeconds > att.Ops[j].DeltaSeconds
+			}
+			return att.Ops[i].Op < att.Ops[j].Op
+		})
+		out = append(out, att)
+	}
+	return out
+}
+
+// FormatDiff renders the full `dlbench bench diff` document: the
+// per-metric delta table (including utilization rows when both reports
+// carry them) followed by a per-op attribution section for every cell
+// whose timing regressed. regressed mirrors Comparison.Failed.
+func FormatDiff(baseline, current *BenchReport, thresholdPct float64) (out string, regressed bool) {
+	cmp := Compare(baseline, current, thresholdPct)
+	var b strings.Builder
+	b.WriteString(cmp.Format())
+	atts := AttributeOps(baseline, current, cmp)
+	for _, att := range atts {
+		fmt.Fprintf(&b, "\nAttribution: %s (%s regressed; train wall %+.2fs)\n",
+			att.Cell, strings.Join(att.Metrics, ", "), att.TrainDeltaSeconds)
+		if len(att.Ops) == 0 {
+			b.WriteString("  no top-op data on either side to attribute\n")
+			continue
+		}
+		tbl := metrics.NewTable("Op", "Baseline Self", "Current Self", "Delta", "Share of slowdown")
+		for _, op := range att.Ops {
+			share := "-"
+			if op.SharePct > 0 {
+				share = fmt.Sprintf("%.1f%%", op.SharePct)
+			}
+			tbl.AddRow(op.Op,
+				fmt.Sprintf("%.3fs", op.BaselineSelfS),
+				fmt.Sprintf("%.3fs", op.CurrentSelfS),
+				fmt.Sprintf("%+.3fs", op.DeltaSeconds),
+				share,
+			)
+		}
+		b.WriteString(tbl.String())
+	}
+	if cmp.Failed() && len(atts) == 0 {
+		b.WriteString("\n(no timing metric regressed, so there is no per-op attribution)\n")
+	}
+	return b.String(), cmp.Failed()
+}

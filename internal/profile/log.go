@@ -1,0 +1,170 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TrajectoryPoint is one loaded BENCH_*.json report plus where it came
+// from.
+type TrajectoryPoint struct {
+	Path   string
+	Report *BenchReport
+}
+
+// LoadTrajectory loads every BENCH_*.json report under dir, ordered by
+// the numeric suffix of the filename convention (BENCH_4 before
+// BENCH_12; names without a number sort after, alphabetically). Mixed
+// schema versions load together — that is the point of a trajectory
+// spanning PRs.
+func LoadTrajectory(dir string) ([]TrajectoryPoint, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("profile: glob bench reports: %w", err)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ni, oki := benchSeq(paths[i])
+		nj, okj := benchSeq(paths[j])
+		switch {
+		case oki && okj && ni != nj:
+			return ni < nj
+		case oki != okj:
+			return oki // numbered reports first
+		default:
+			return paths[i] < paths[j]
+		}
+	})
+	out := make([]TrajectoryPoint, 0, len(paths))
+	for _, p := range paths {
+		r, err := LoadBenchReport(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TrajectoryPoint{Path: p, Report: r})
+	}
+	return out, nil
+}
+
+// benchSeq extracts the numeric suffix from a BENCH_<n>.json path.
+func benchSeq(path string) (int, bool) {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	n, err := strconv.Atoi(base)
+	return n, err == nil
+}
+
+// sparkRunes are the eight levels of a unicode sparkline.
+const sparkRunes = "▁▂▃▄▅▆▇█"
+
+// sparkline renders vals as one rune per value, min-max scaled; NaN
+// (missing — e.g. CPU% from a v1 report) renders as '·'.
+func sparkline(vals []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	runes := []rune(sparkRunes)
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			b.WriteRune('·')
+		case hi == lo:
+			b.WriteRune(runes[len(runes)/2])
+		default:
+			i := int((v - lo) / (hi - lo) * float64(len(runes)-1))
+			b.WriteRune(runes[i])
+		}
+	}
+	return b.String()
+}
+
+// FormatTrajectory renders the `dlbench bench log` document: a report
+// index followed by one row per cell with iters/sec, peak heap and
+// CPU% sparkline columns across the whole trajectory. Peak heap uses
+// the profiling watermark (present in every schema version); CPU% comes
+// from the v2 util section and renders '·' for reports without one.
+func FormatTrajectory(points []TrajectoryPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Benchmark trajectory: %d report(s)\n\n", len(points))
+	idx := metrics.NewTable("#", "Report", "Created (UTC)", "Schema", "Scale", "Go", "Cells")
+	for i, p := range points {
+		created := "-"
+		if p.Report.CreatedUnix > 0 {
+			created = time.Unix(p.Report.CreatedUnix, 0).UTC().Format("2006-01-02 15:04")
+		}
+		idx.AddRow(
+			strconv.Itoa(i+1),
+			filepath.Base(p.Path),
+			created,
+			strconv.Itoa(p.Report.SchemaVersion),
+			p.Report.Scale,
+			p.Report.GoVersion,
+			strconv.Itoa(len(p.Report.Cells)),
+		)
+	}
+	b.WriteString(idx.String())
+
+	// Union of cells, sorted; each sparkline runs oldest -> newest.
+	cellSet := make(map[string]bool)
+	for _, p := range points {
+		for _, c := range p.Report.Cells {
+			cellSet[c.Cell] = true
+		}
+	}
+	cells := make([]string, 0, len(cellSet))
+	for c := range cellSet {
+		cells = append(cells, c)
+	}
+	sort.Strings(cells)
+
+	b.WriteString("\n")
+	tbl := metrics.NewTable("Cell", "Iters/s", "(last)", "Peak heap", "(last)", "CPU avg", "(last)")
+	for _, cell := range cells {
+		iters := make([]float64, len(points))
+		heap := make([]float64, len(points))
+		cpu := make([]float64, len(points))
+		for i, p := range points {
+			iters[i], heap[i], cpu[i] = math.NaN(), math.NaN(), math.NaN()
+			for _, c := range p.Report.Cells {
+				if c.Cell != cell {
+					continue
+				}
+				iters[i] = c.ItersPerSec
+				heap[i] = float64(c.PeakAllocBytes)
+				if c.Util != nil {
+					cpu[i] = c.Util.AvgCPUPct
+				}
+				break
+			}
+		}
+		tbl.AddRow(cell,
+			sparkline(iters), lastVal(iters, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }),
+			sparkline(heap), lastVal(heap, func(v float64) string { return formatBytes(int64(v)) }),
+			sparkline(cpu), lastVal(cpu, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) + "%" }),
+		)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}
+
+// lastVal formats the newest non-missing value of a series, "-" when
+// the series is all-missing.
+func lastVal(vals []float64, format func(float64) string) string {
+	for i := len(vals) - 1; i >= 0; i-- {
+		if !math.IsNaN(vals[i]) {
+			return format(vals[i])
+		}
+	}
+	return "-"
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	for _, tc := range []struct {
+		vals []float64
+		want string
+	}{
+		{[]float64{1, 2, 3}, "▁▄█"},
+		{[]float64{3, 3, 3}, "▅▅▅"},
+		{[]float64{1, math.NaN(), 2}, "▁·█"},
+		{[]float64{math.NaN(), math.NaN()}, "··"},
+		{nil, ""},
+	} {
+		if got := sparkline(tc.vals); got != tc.want {
+			t.Errorf("sparkline(%v) = %q, want %q", tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestBenchSeqOrdering(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		n    int
+		ok   bool
+	}{
+		{"BENCH_5.json", 5, true},
+		{"/x/y/BENCH_12.json", 12, true},
+		{"BENCH_cur.json", 0, false},
+	} {
+		n, ok := benchSeq(tc.path)
+		if n != tc.n || ok != tc.ok {
+			t.Errorf("benchSeq(%q) = (%d, %v), want (%d, %v)", tc.path, n, ok, tc.n, tc.ok)
+		}
+	}
+}
+
+// TestLoadTrajectoryMixedSchemas writes a v1 and a v2 report into one
+// directory and asserts the trajectory loads both in numeric order and
+// renders the sparkline table with '·' for the v1 report's missing
+// CPU column.
+func TestLoadTrajectoryMixedSchemas(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2.json"), []byte(v1ReportJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v2 := v2Report()
+	v2.Cells[0].ItersPerSec = 120
+	f, err := os.Create(filepath.Join(dir, "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchReport(f, v2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	points, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("loaded %d reports, want 2", len(points))
+	}
+	// Numeric order: BENCH_2 before BENCH_10 despite lexicographic order.
+	if filepath.Base(points[0].Path) != "BENCH_2.json" || filepath.Base(points[1].Path) != "BENCH_10.json" {
+		t.Fatalf("order = %s, %s", points[0].Path, points[1].Path)
+	}
+
+	out := FormatTrajectory(points)
+	for _, want := range []string{
+		"2 report(s)",
+		"BENCH_2.json", "BENCH_10.json",
+		"TF TF MNIST on MNIST @GPU",
+		"Iters/s", "Peak heap", "CPU avg",
+		"·▅", // CPU sparkline: missing in v1, single v2 value at mid level
+		"95.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadTrajectoryEmptyDir(t *testing.T) {
+	points, err := LoadTrajectory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("empty dir yielded %d reports", len(points))
+	}
+}

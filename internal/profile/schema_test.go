@@ -1,0 +1,197 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+// v1ReportJSON is a literal schema-v1 document, as PR 3's harness wrote
+// them: no util section anywhere. The v2 reader must keep loading it.
+const v1ReportJSON = `{
+  "schema_version": 1,
+  "created_unix": 1700000000,
+  "go_version": "go1.22",
+  "goos": "linux",
+  "goarch": "amd64",
+  "scale": "test",
+  "seed": 42,
+  "cells": [
+    {
+      "cell": "TF TF MNIST on MNIST @GPU",
+      "train_wall_s": 1.0,
+      "test_wall_s": 0.2,
+      "iterations": 100,
+      "iters_per_sec": 100,
+      "peak_alloc_bytes": 1048576,
+      "accuracy_pct": 90,
+      "top_ops": [{"name": "graph.op.conv4", "self_s": 0.4, "self_pct": 40}]
+    }
+  ]
+}`
+
+// sampleUtil fills a plausible v2 utilization summary.
+func sampleUtil() *monitor.Summary {
+	return &monitor.Summary{
+		Samples:            20,
+		WindowSeconds:      1.0,
+		AvgHeapInuseBytes:  400 << 20,
+		PeakHeapInuseBytes: 800 << 20,
+		AvgGoroutines:      8,
+		PeakGoroutines:     12,
+		AvgCPUPct:          95,
+		PeakCPUPct:         140,
+		GCPauseP50NS:       50_000,
+		GCPauseP99NS:       400_000,
+		GCCount:            6,
+	}
+}
+
+// v2Report builds a schema-v2 report over the same cell as the v1
+// fixture, with utilization attached.
+func v2Report() *BenchReport {
+	r := sampleReport()
+	r.Cells = r.Cells[:1]
+	r.Cells[0].TopOps = []BenchOp{{Name: "graph.op.conv4", SelfSeconds: 0.4, SelfPct: 40}}
+	r.Cells[0].Util = sampleUtil()
+	return r
+}
+
+func TestV1ReportStillLoads(t *testing.T) {
+	r, err := ReadBenchReport(strings.NewReader(v1ReportJSON))
+	if err != nil {
+		t.Fatalf("v1 report no longer loads under v%d reader: %v", BenchSchemaVersion, err)
+	}
+	if r.SchemaVersion != 1 {
+		t.Fatalf("schema version = %d", r.SchemaVersion)
+	}
+	if r.Cells[0].Util != nil {
+		t.Fatalf("v1 cell grew a util section: %+v", r.Cells[0].Util)
+	}
+}
+
+// TestV1DiffsCleanlyAgainstV2 is the degradation contract: a v1
+// baseline against a v2 current report (and the reverse) compares the
+// core metrics, contributes no utilization rows, and never panics.
+func TestV1DiffsCleanlyAgainstV2(t *testing.T) {
+	v1, err := ReadBenchReport(strings.NewReader(v1ReportJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := v2Report()
+	for _, dir := range []struct {
+		name           string
+		base, cur      *BenchReport
+	}{
+		{"v1 baseline vs v2 current", v1, v2},
+		{"v2 baseline vs v1 current", v2, v1},
+	} {
+		cmp := Compare(dir.base, dir.cur, 15)
+		if cmp.Failed() {
+			t.Errorf("%s: identical measurements regressed: %+v", dir.name, cmp.Regressions())
+		}
+		for _, d := range cmp.Deltas {
+			if strings.Contains(d.Metric, "heap_inuse") || strings.Contains(d.Metric, "cpu") || strings.Contains(d.Metric, "gc_pause") {
+				t.Errorf("%s: utilization metric %q compared despite a v1 side", dir.name, d.Metric)
+			}
+		}
+		// Format and FormatDiff must render without panicking.
+		_ = cmp.Format()
+		out, regressed := FormatDiff(dir.base, dir.cur, 15)
+		if regressed || out == "" {
+			t.Errorf("%s: FormatDiff = (%d bytes, regressed=%v)", dir.name, len(out), regressed)
+		}
+	}
+}
+
+func TestV2UtilRoundTripsAndCompares(t *testing.T) {
+	r := v2Report()
+	var buf strings.Builder
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cells[0].Util == nil || back.Cells[0].Util.PeakHeapInuseBytes != 800<<20 {
+		t.Fatalf("util lost in round trip: %+v", back.Cells[0].Util)
+	}
+
+	// Peak heap in-use is gated: +50% must regress.
+	cur := v2Report()
+	cur.Cells[0].Util.PeakHeapInuseBytes = 1200 << 20
+	cmp := Compare(r, cur, 15)
+	var sawGated bool
+	for _, d := range cmp.Regressions() {
+		if d.Metric == "peak_heap_inuse_bytes" {
+			sawGated = true
+		}
+	}
+	if !sawGated {
+		t.Fatalf("peak_heap_inuse_bytes +50%% did not regress: %+v", cmp.Regressions())
+	}
+
+	// CPU% and GC pause are informational: doubling them must not fail.
+	cur = v2Report()
+	cur.Cells[0].Util.AvgCPUPct = 190
+	cur.Cells[0].Util.GCPauseP99NS = 4_000_000
+	cmp = Compare(r, cur, 15)
+	if cmp.Failed() {
+		t.Fatalf("informational utilization metrics failed the comparison: %+v", cmp.Regressions())
+	}
+	found := map[string]bool{}
+	for _, d := range cmp.Deltas {
+		found[d.Metric] = true
+	}
+	for _, want := range []string{"avg_cpu_pct", "gc_pause_p99_ns", "avg_heap_inuse_bytes", "peak_heap_inuse_bytes"} {
+		if !found[want] {
+			t.Errorf("delta table missing utilization metric %q", want)
+		}
+	}
+}
+
+func TestDiffAttributesRegressionToOps(t *testing.T) {
+	base := v2Report()
+	cur := v2Report()
+	// Train wall doubles; conv4's self time explains most of the growth
+	// and a new op appears in the top table.
+	cur.Cells[0].TrainWallSeconds = 2.0
+	cur.Cells[0].ItersPerSec = 50
+	cur.Cells[0].TopOps = []BenchOp{
+		{Name: "graph.op.conv4", SelfSeconds: 1.3, SelfPct: 60},
+		{Name: "graph.op.fc8", SelfSeconds: 0.2, SelfPct: 9},
+	}
+	out, regressed := FormatDiff(base, cur, 15)
+	if !regressed {
+		t.Fatal("a 2x train slowdown did not regress")
+	}
+	for _, want := range []string{
+		"Attribution: TF TF MNIST on MNIST @GPU",
+		"graph.op.conv4",
+		"graph.op.fc8",
+		"Share of slowdown",
+		"90.0%", // conv4: +0.9s of the +1.0s train delta
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffWithoutTimingRegressionHasNoAttribution(t *testing.T) {
+	base := v2Report()
+	cur := v2Report()
+	cur.Cells[0].Util.PeakHeapInuseBytes = 1600 << 20 // memory-only regression
+	out, regressed := FormatDiff(base, cur, 15)
+	if !regressed {
+		t.Fatal("peak heap doubling did not regress")
+	}
+	if strings.Contains(out, "Attribution:") {
+		t.Errorf("memory-only regression produced per-op attribution:\n%s", out)
+	}
+	if !strings.Contains(out, "no timing metric regressed") {
+		t.Errorf("diff output does not explain the absent attribution:\n%s", out)
+	}
+}
