@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test obs-overhead chaos bench bench-compare bench-log microbench trace-demo clean
+.PHONY: check vet build test race obs-overhead chaos bench bench-compare bench-log microbench trace-demo clean
 
-check: vet build test obs-overhead chaos bench-compare bench-log
+check: vet build test race obs-overhead chaos bench-compare bench-log
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,13 @@ build:
 test:
 	$(GO) test -timeout 30m ./...
 	$(GO) test -race -timeout 30m $$($(GO) list ./... | grep -v '/internal/core$$')
+
+# Focused race pass over the kernel/layer/executor hot path: the worker
+# pool, arena, fused epilogues and sharded backward are where new
+# concurrency lives, so this trio gets an explicit -count=1 run (the
+# broad `test` race pass above may serve cached results).
+race:
+	$(GO) test -race -count=1 -timeout 15m ./internal/tensor/... ./internal/nn/... ./internal/engine/...
 
 # The acceptance guard from internal/obs: the nil-tracer fast path must
 # stay under 2% of a training iteration, and the disabled-primitive
@@ -48,7 +55,7 @@ chaos:
 # benchmark matrix (3 frameworks x 2 datasets, profiling mode with the
 # resource monitor on) and write the schema-versioned report at the
 # repo root. Bump BENCH_OUT per PR.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 bench:
 	$(GO) run ./cmd/dlbench -scale test -quiet -bench-out $(BENCH_OUT) bench
 

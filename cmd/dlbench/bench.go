@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +29,9 @@ type benchConfig struct {
 // errBenchRegression distinguishes a failing comparison (the report is
 // still written) from operational errors.
 var errBenchRegression = fmt.Errorf("benchmark regression past threshold")
+
+// benchGCPercent is the GOGC value the matrix runs under (see runBench).
+const benchGCPercent = 50
 
 // benchSpecs is the canonical benchmark matrix: every framework under its
 // own defaults on both datasets (the paper's baseline cells), GPU-modeled
@@ -62,6 +66,13 @@ func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.T
 		Scale:         cfg.scale,
 		Seed:          cfg.seed,
 	}
+	// The matrix reports each cell's memory footprint, so run it with
+	// tighter GC headroom than the default: with the tensor arena keeping
+	// steady-state allocation near zero, extra collections are nearly
+	// free, and the default 100% pacer slack would otherwise double every
+	// sampled peak over the actual working set.
+	prevGC := debug.SetGCPercent(benchGCPercent)
+	defer debug.SetGCPercent(prevGC)
 	for _, spec := range benchSpecs() {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -110,6 +121,11 @@ func runBench(ctx context.Context, w io.Writer, suite *core.Suite, tracer *obs.T
 			sink.printf("bench cell %s: train %.2fs, %.1f iters/s, peak %.1f MiB",
 				cell.Cell, cell.TrainWallSeconds, cell.ItersPerSec, float64(cell.PeakAllocBytes)/(1<<20))
 		}
+		// The matrix never revisits a cell, so drop its cached model and
+		// collect before the next cell starts: its sampled peak should
+		// measure its own working set, not prior cells' dormant parameters.
+		suite.ReleaseModels()
+		runtime.GC()
 	}
 	f, err := os.Create(cfg.outPath)
 	if err != nil {

@@ -151,6 +151,18 @@ func NewSuite(scale Scale, seed uint64) (*Suite, error) {
 // Scale returns the suite's scale.
 func (s *Suite) Scale() Scale { return s.scale }
 
+// ReleaseModels drops every cached trained model — parameters, gradients
+// and any layer buffers they still reference. Experiments that revisit a
+// cell retrain it transparently on next use. The benchmark matrix calls
+// this between cells: it harvests each cell's metrics exactly once, and
+// dormant models from finished cells would otherwise sit in the live heap
+// and count against every later cell's sampled memory footprint.
+func (s *Suite) ReleaseModels() {
+	s.mu.Lock()
+	s.models = make(map[modelKey]*trainedModel)
+	s.mu.Unlock()
+}
+
 func (s *Suite) progress(format string, args ...any) {
 	if s.Progress != nil {
 		s.Progress(format, args...)

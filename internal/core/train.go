@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/data"
@@ -173,6 +174,16 @@ func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trained
 	tm.lossHistory = r.lossHistory
 	tm.finalLoss = r.lastLoss
 
+	// Training is over: the optimizer's moment tensors and the batch-sized
+	// layer buffers are dead weight for evaluation, which runs at its own
+	// batch size. Drop them (and the arena's idle train-shaped scratch)
+	// and collect, so the eval phase's sampled heap reflects the eval
+	// working set rather than training leftovers stacked under it.
+	r.opt = nil
+	net.ReleaseBuffers()
+	tensor.ArenaRelease()
+	runtime.GC()
+
 	// Evaluate.
 	evalSpan := s.Obs.Span("suite.eval", "suite")
 	evalStart := time.Now()
@@ -216,8 +227,17 @@ func (s *Suite) train(ctx context.Context, spec RunSpec, key modelKey) (*trained
 	s.Obs.Gauge("suite.accuracy_pct").Set(tm.accuracyPct)
 	// The model goes dormant in the suite cache; drop its large per-batch
 	// buffers (they are rebuilt transparently if the model is reused for
-	// adversarial attacks).
+	// adversarial attacks), and hand the arena's idle scratch back to the
+	// GC so one cell's retained working set is not charged against the
+	// next cell's sampled heap footprint.
 	net.ReleaseBuffers()
+	tensor.ArenaRelease()
+	// The GC here both reclaims the cell's garbage and resets the pacer's
+	// heap goal, which one cell's transient working set would otherwise
+	// inflate for the whole next cell — the next cell then runs hundreds
+	// of MB of allocation before its first collection and its sampled
+	// peak_alloc_bytes measures our pacer slack, not its working set.
+	runtime.GC()
 
 	// Convergence: a run "converged" when it trained into a model that is
 	// meaningfully better than chance with a finite, unclamped loss. A

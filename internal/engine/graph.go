@@ -22,6 +22,13 @@ type opNode struct {
 	// fusedInto, when >= 0, marks this node as fused into another node's
 	// dispatch (conv+activation fusion), eliminating its own dispatch.
 	fusedInto int
+	// skipExec marks a fused activation node whose kernel actually runs
+	// inside its producer's GEMM epilogue (ReLU); the node is skipped
+	// entirely in the forward schedule.
+	skipExec bool
+	// adopt, on a producer node, is the fused activation to notify after
+	// this node's forward so its Backward still works (AdoptFused).
+	adopt *nn.Activation
 }
 
 // GraphExecutor is the TensorFlow-style executor: it compiles the network
@@ -114,7 +121,11 @@ func topoSort(nodes []*opNode) ([]int, error) {
 
 // fuse runs the graph-optimization pass: an activation whose sole producer
 // is a convolution or dense node is fused into that producer's dispatch
-// (the classic conv+bias+relu fusion).
+// (the classic conv+bias+relu fusion). For ReLU the fusion is executed
+// for real: the producer applies the activation in its GEMM epilogue and
+// the activation node is skipped in the forward schedule, adopting the
+// fused output so its backward op is unchanged. Other kinds keep the
+// dispatch-accounting fusion only (their kernels still run standalone).
 func (g *GraphExecutor) fuse() {
 	for _, n := range g.nodes {
 		act, ok := n.layer.(*nn.Activation)
@@ -122,11 +133,24 @@ func (g *GraphExecutor) fuse() {
 			continue
 		}
 		p := g.nodes[n.deps[0]]
-		switch p.layer.(type) {
-		case *nn.Conv2D, *nn.Dense:
+		switch pl := p.layer.(type) {
+		case *nn.Conv2D:
 			if len(p.succ) == 1 {
 				n.fusedInto = p.id
 				g.fused++
+				if pl.SetFusedActivation(act.Kind()) {
+					n.skipExec = true
+					p.adopt = act
+				}
+			}
+		case *nn.Dense:
+			if len(p.succ) == 1 {
+				n.fusedInto = p.id
+				g.fused++
+				if pl.SetFusedActivation(act.Kind()) {
+					n.skipExec = true
+					p.adopt = act
+				}
 			}
 		}
 	}
@@ -198,6 +222,11 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 	profiling := g.tr.ProfilingEnabled()
 	for _, id := range g.schedule {
 		n := g.nodes[id]
+		if n.skipExec {
+			// The node's kernel already ran inside its producer's GEMM
+			// epilogue; nothing to dispatch.
+			continue
+		}
 		if n.fusedInto < 0 {
 			dispatched++
 		}
@@ -217,6 +246,9 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		}
 		if err != nil {
 			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, n.layer.Name(), err)
+		}
+		if n.adopt != nil {
+			n.adopt.AdoptFused(next)
 		}
 		cur = next
 	}

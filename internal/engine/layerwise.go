@@ -21,6 +21,13 @@ type LayerwiseExecutor struct {
 	// built once so the dispatch loops allocate nothing.
 	opNames []string
 
+	// adopts[i], when non-nil, marks layer i as an in-place activation
+	// (Caffe's top==bottom ReLU): the producing conv/dense layer applies
+	// it inside its GEMM epilogue, and layer i's dispatch just adopts the
+	// result. The layer is still dispatched, hooked and counted — Caffe
+	// does not fuse dispatches, it fuses memory.
+	adopts []*nn.Activation
+
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
 	dispInfer *obs.Counter
@@ -53,8 +60,10 @@ func NewLayerwise(net *nn.Network, batchHint int, tr *obs.Tracer) (*LayerwiseExe
 	build := tr.Span("layerwise.build", CatEngine)
 	defer build.End()
 	cur := net.InShape()
+	layers := net.Layers()
 	bytes := int64(tensor.Volume(cur)) * int64(batchHint) * 8
-	for _, l := range net.Layers() {
+	e.adopts = make([]*nn.Activation, len(layers))
+	for i, l := range layers {
 		next, err := l.OutShape(cur)
 		if err != nil {
 			return nil, fmt.Errorf("engine: layerwise blob sizing at %q: %w", l.Name(), err)
@@ -62,6 +71,21 @@ func NewLayerwise(net *nn.Network, batchHint int, tr *obs.Tracer) (*LayerwiseExe
 		bytes += 2 * int64(tensor.Volume(next)) * int64(batchHint) * 8
 		cur = next
 		e.opNames = append(e.opNames, OpSpanName("layerwise", l.Name()))
+		// Mark in-place activations: a ReLU directly after a conv/dense
+		// layer runs inside that layer's GEMM epilogue (Caffe's
+		// top==bottom in-place ReLU).
+		if act, ok := l.(*nn.Activation); ok && i > 0 {
+			switch prev := layers[i-1].(type) {
+			case *nn.Conv2D:
+				if prev.SetFusedActivation(act.Kind()) {
+					e.adopts[i] = act
+				}
+			case *nn.Dense:
+				if prev.SetFusedActivation(act.Kind()) {
+					e.adopts[i] = act
+				}
+			}
+		}
 	}
 	e.blobBytes = bytes
 	return e, nil
@@ -87,6 +111,19 @@ func (e *LayerwiseExecutor) forward(x *tensor.Tensor, train bool) (*tensor.Tenso
 			if err := e.hook("layerwise.forward"); err != nil {
 				return nil, fmt.Errorf("engine: layerwise forward dispatch: %w", err)
 			}
+		}
+		if a := e.adopts[i]; a != nil {
+			// In-place activation: the previous layer already applied it
+			// in its GEMM epilogue. The dispatch (hook, span, counter)
+			// still happens above; the kernel is a no-op adoption.
+			if profiling {
+				sp := e.tr.Span(e.opNames[i], CatOp)
+				a.AdoptFused(cur)
+				sp.End()
+			} else {
+				a.AdoptFused(cur)
+			}
+			continue
 		}
 		var next *tensor.Tensor
 		var err error

@@ -11,6 +11,11 @@ import (
 
 // module is one vertex of the Torch-style module tree: either a leaf
 // wrapping an nn.Layer or a Sequential container of children.
+//
+// The module executor deliberately runs every leaf unfused: Torch's
+// define-by-run module chain has no graph-optimization pass, so unlike
+// the graph and layerwise executors it never requests the layers'
+// fused conv+bias+ReLU epilogue (its benchmark nets use Tanh anyway).
 type module struct {
 	name     string
 	layer    nn.Layer // nil for containers

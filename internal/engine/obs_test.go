@@ -177,10 +177,17 @@ func TestProfilingModeEmitsPerOpSpans(t *testing.T) {
 			if _, err := e.exec.TrainBatch(context.Background(), x, labels); err != nil {
 				t.Fatal(err)
 			}
-			// Every layer of the test net dispatches forward and backward.
+			// Every layer of the test net dispatches forward and backward,
+			// except the graph executor's fused conv+relu pair: the ReLU
+			// runs inside conv1's GEMM epilogue, so its forward emits no
+			// dispatch span of its own (backward still does).
 			for _, layer := range []string{"conv1", "relu1", "pool1", "flat", "fc"} {
-				if got := e.tr.Histogram(OpSpanName(name, layer)).Count(); got != 2 {
-					t.Errorf("%s op spans = %d, want 2 (fwd+bwd)", layer, got)
+				want := int64(2)
+				if name == "graph" && layer == "relu1" {
+					want = 1
+				}
+				if got := e.tr.Histogram(OpSpanName(name, layer)).Count(); got != want {
+					t.Errorf("%s op spans = %d, want %d", layer, got, want)
 				}
 			}
 			// Op spans must be inside the phase spans: forward span count

@@ -16,6 +16,10 @@ type Activation struct {
 	lastOutput *tensor.Tensor // cached for backward (all kinds are
 	// expressible through their output)
 	lastInput *tensor.Tensor
+
+	// Persistent buffers reused across iterations.
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*Activation)(nil)
@@ -83,23 +87,41 @@ func (a *Activation) FLOPsPerSample(in []int) int64 {
 
 // Forward implements Layer.
 func (a *Activation) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
-	out := x.Clone()
+	a.outBuf = reuseBufLike(a.outBuf, x)
+	out := a.outBuf
+	o, xd := out.Data(), x.Data()
 	switch a.kind {
 	case ReLU:
-		tensor.Apply(out, func(v float64) float64 {
+		for i, v := range xd {
 			if v > 0 {
-				return v
+				o[i] = v
+			} else {
+				o[i] = 0
 			}
-			return 0
-		})
+		}
 	case Tanh:
-		tensor.Apply(out, math.Tanh)
+		for i, v := range xd {
+			o[i] = math.Tanh(v)
+		}
 	case Sigmoid:
-		tensor.Apply(out, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+		for i, v := range xd {
+			o[i] = 1 / (1 + math.Exp(-v))
+		}
 	}
 	a.lastInput = x
 	a.lastOutput = out
 	return out, nil
+}
+
+// AdoptFused records that a producer layer (conv/dense) already applied
+// this activation inside its GEMM epilogue and produced out. The layer
+// caches out as both its input and output so Backward works unchanged
+// without Forward having run. This is exact for ReLU: the backward mask
+// tests x ≤ 0, and relu(x) ≤ 0 ⟺ x ≤ 0, so masking on the fused output
+// yields bit-identical gradients.
+func (a *Activation) AdoptFused(out *tensor.Tensor) {
+	a.lastInput = out
+	a.lastOutput = out
 }
 
 // Backward implements Layer.
@@ -110,27 +132,38 @@ func (a *Activation) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if gradOut.Len() != a.lastOutput.Len() {
 		return nil, fmt.Errorf("activation %q backward: %w", a.name, ErrShape)
 	}
-	gradIn := gradOut.Clone()
+	a.gradInBuf = reuseBufLike(a.gradInBuf, gradOut)
+	gradIn := a.gradInBuf
 	y := a.lastOutput.Data()
-	g := gradIn.Data()
+	g, gout := gradIn.Data(), gradOut.Data()
 	switch a.kind {
 	case ReLU:
 		x := a.lastInput.Data()
-		for i := range g {
+		for i, v := range gout {
 			if x[i] <= 0 {
 				g[i] = 0
+			} else {
+				g[i] = v
 			}
 		}
 	case Tanh:
-		for i := range g {
-			g[i] *= 1 - y[i]*y[i]
+		for i, v := range gout {
+			g[i] = v * (1 - y[i]*y[i])
 		}
 	case Sigmoid:
-		for i := range g {
-			g[i] *= y[i] * (1 - y[i])
+		for i, v := range gout {
+			g[i] = v * y[i] * (1 - y[i])
 		}
 	}
 	return gradIn, nil
+}
+
+// ReleaseBuffers drops cached state and persistent buffers.
+func (a *Activation) ReleaseBuffers() {
+	a.lastInput = nil
+	a.lastOutput = nil
+	a.outBuf = nil
+	a.gradInBuf = nil
 }
 
 // Flatten reshapes [N, ...] inputs to [N, D]. It is a pure view layer with

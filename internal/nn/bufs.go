@@ -1,0 +1,37 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Buffer-reuse helpers for the layers' persistent forward/backward
+// temporaries. Each layer keeps its output (and gradient) buffers across
+// iterations; these helpers hand the old buffer back when the shape is
+// unchanged — the steady-state training case, which then allocates
+// nothing — and rotate it through the tensor arena when the batch shape
+// changes (train batch vs eval batch).
+//
+// All reuse helpers return uninitialized storage: callers must write
+// every element before it can be read (every layer's forward/backward
+// does), or explicitly Zero() buffers that accumulate.
+
+// reuseBufUninit returns buf when it already has exactly the wanted
+// shape; otherwise it recycles buf to the arena and draws a fresh one.
+func reuseBufUninit(buf *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if buf != nil && buf.ShapeIs(shape...) {
+		return buf
+	}
+	if buf != nil {
+		tensor.Put(buf)
+	}
+	return tensor.GetUninit(shape...)
+}
+
+// reuseBufLike is reuseBufUninit with the target shape taken from src.
+func reuseBufLike(buf *tensor.Tensor, src *tensor.Tensor) *tensor.Tensor {
+	if buf != nil && buf.SameShape(src) {
+		return buf
+	}
+	if buf != nil {
+		tensor.Put(buf)
+	}
+	return tensor.GetUninit(src.Shape()...)
+}

@@ -21,9 +21,16 @@ type Conv2D struct {
 	// shape with 1 where a connection exists and 0 elsewhere.
 	mask *tensor.Tensor
 
-	// Cached forward state for Backward.
+	// fusedAct, when set to ReLU by an executor (SetFusedActivation),
+	// makes Forward apply the activation inside the GEMM bias epilogue
+	// while the output tile is cache-hot.
+	fusedAct ActKind
+
+	// Cached forward state for Backward, plus persistent output and
+	// gradient buffers reused across iterations.
 	lastInput *tensor.Tensor
-	lastCols  []*tensor.Tensor // per-sample column matrices
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -111,12 +118,33 @@ func (c *Conv2D) ApplyMask() {
 	}
 }
 
-// ReleaseBuffers drops the cached forward state (input reference and
-// im2col column buffers). Call it when a trained network goes dormant in
-// a cache; the next Forward reallocates.
+// SetFusedActivation asks the layer to apply an activation inside its
+// GEMM epilogue. Only ReLU can be fused (it is idempotent and its
+// backward mask is unchanged by the fusion, so numerics stay
+// bit-identical whether or not a following Activation layer also runs).
+// It reports whether the layer accepted the fusion; any other kind
+// clears it.
+func (c *Conv2D) SetFusedActivation(k ActKind) bool {
+	if k == ReLU {
+		c.fusedAct = ReLU
+		return true
+	}
+	c.fusedAct = 0
+	return false
+}
+
+// FusedActivation returns the currently fused activation kind (0 = none).
+func (c *Conv2D) FusedActivation() ActKind { return c.fusedAct }
+
+// ReleaseBuffers drops the cached forward state (input reference, output
+// and gradient buffers). Call it when a trained network goes dormant in a
+// cache; the next Forward reallocates. Buffers are dropped for the GC
+// rather than recycled, because callers may still hold the tensors the
+// last Forward/Backward returned.
 func (c *Conv2D) ReleaseBuffers() {
 	c.lastInput = nil
-	c.lastCols = nil
+	c.outBuf = nil
+	c.gradInBuf = nil
 }
 
 // OutShape implements Layer.
@@ -164,47 +192,57 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	kVol := g.InC * g.KH * g.KW
 	imgLen := g.InC * g.InH * g.InW
 	outLen := g.OutC * outH * outW
+	planeOut := outH * outW
 
-	out := tensor.New(n, g.OutC, outH, outW)
-	// Reuse the previous iteration's column buffers when the batch shape
-	// is unchanged: they are large (kVol·outPix per sample) and otherwise
-	// dominate allocation churn.
-	cols := c.lastCols
-	if len(cols) != n || (n > 0 && cols[0].Len() != kVol*outH*outW) {
-		cols = make([]*tensor.Tensor, n)
-		for i := range cols {
-			cols[i] = tensor.New(kVol, outH*outW)
-		}
-	}
-	var firstErr error
+	c.outBuf = reuseBufUninit(c.outBuf, n, g.OutC, outH, outW)
+	out := c.outBuf
+	xd, od := x.Data(), out.Data()
+	w := c.weight.Value.Data()
+	bias := c.bias.Value.Data()
+	fuseReLU := c.fusedAct == ReLU
+	// The loop body is error-free by construction (shapes were validated
+	// above and the flat-slice kernels cannot fail), so there is no shared
+	// error slot for the workers to race on — the old firstErr data race
+	// is gone structurally.
 	tensor.ParallelFor(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			col := cols[i]
-			tensor.Im2Col(col.Data(), x.Data()[i*imgLen:(i+1)*imgLen], g)
-			dst, err := tensor.From(out.Data()[i*outLen:(i+1)*outLen], g.OutC, outH*outW)
-			if err != nil {
-				firstErr = err
-				return
-			}
-			if err := tensor.MatMul(dst, c.weight.Value, col); err != nil {
-				firstErr = err
-				return
-			}
-			// Bias per output channel.
-			for oc := 0; oc < g.OutC; oc++ {
-				b := c.bias.Value.Data()[oc]
-				row := dst.Data()[oc*outH*outW : (oc+1)*outH*outW]
-				for j := range row {
-					row[j] += b
+		// Per-worker im2row scratch from the arena; every element is
+		// written by Im2Row (including padding zeros) before the GEMM
+		// reads it. The row layout makes both GEMM operands contiguous
+		// along the reduction, so GemmTransB runs its register tile with
+		// no panel packing at all.
+		rows := tensor.GetUninit(planeOut, kVol)
+		defer tensor.Put(rows)
+		rd := rows.Data()
+		var dst []float64
+		// Bias (and, when fused, ReLU) runs as a GEMM epilogue over each
+		// completed block of output rows while the tile is cache-hot,
+		// replacing the old second full pass over the output tensor.
+		epi := func(rlo, rhi int) {
+			for oc := rlo; oc < rhi; oc++ {
+				b := bias[oc]
+				row := dst[oc*planeOut : (oc+1)*planeOut]
+				if fuseReLU {
+					for j, v := range row {
+						v += b
+						if v < 0 {
+							v = 0
+						}
+						row[j] = v
+					}
+				} else {
+					for j := range row {
+						row[j] += b
+					}
 				}
 			}
 		}
+		for i := lo; i < hi; i++ {
+			tensor.Im2Row(rd, xd[i*imgLen:(i+1)*imgLen], g)
+			dst = od[i*outLen : (i+1)*outLen]
+			tensor.GemmTransB(dst, w, rd, g.OutC, kVol, planeOut, false, epi)
+		}
 	})
-	if firstErr != nil {
-		return nil, fmt.Errorf("conv2d %q forward: %w", c.name, firstErr)
-	}
 	c.lastInput = x
-	c.lastCols = cols
 	return out, nil
 }
 
@@ -223,68 +261,88 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("conv2d %q backward: %w: grad %v", c.name, ErrShape, gradOut.Shape())
 	}
 
-	gradIn := tensor.New(n, g.InC, g.InH, g.InW)
-	// Per-sample weight-gradient partials are accumulated into per-worker
-	// buffers and reduced afterwards to avoid a lock in the hot loop.
-	type partial struct {
-		w *tensor.Tensor
-		b *tensor.Tensor
+	planeOut := outH * outW
+	c.gradInBuf = reuseBufUninit(c.gradInBuf, n, g.InC, g.InH, g.InW)
+	gradIn := c.gradInBuf
+	gradIn.Zero() // Col2Im accumulates
+
+	// The batch loop is parallelized over a fixed number of shards, each
+	// with its own dW/dB accumulators reduced in shard order afterwards.
+	// The shard partition depends only on (n, convBackwardShards) — never
+	// on core count — so gradients are deterministic across machines.
+	shards := convBackwardShards
+	partW := make([]*tensor.Tensor, shards)
+	partB := make([]*tensor.Tensor, shards)
+	xd, god := c.lastInput.Data(), gradOut.Data()
+	w := c.weight.Value.Data()
+	// W is constant across the batch, so its transpose — which the dcol
+	// GEMM walks by rows — is built once here instead of once per sample
+	// inside GemmTransA.
+	wT := tensor.GetUninit(kVol, g.OutC)
+	wtd := wT.Data()
+	for oc := 0; oc < g.OutC; oc++ {
+		row := w[oc*kVol : (oc+1)*kVol]
+		for p, v := range row {
+			wtd[p*g.OutC+oc] = v
+		}
 	}
-	partials := make([]partial, 0, 8)
-	var firstErr error
-	// Sequential over batch for the shared weight gradient; the inner
-	// GEMMs already parallelize over rows.
-	acc := partial{w: tensor.New(g.OutC, kVol), b: tensor.New(g.OutC)}
-	for i := 0; i < n; i++ {
-		gradSample, err := tensor.From(gradOut.Data()[i*outLen:(i+1)*outLen], g.OutC, outH*outW)
-		if err != nil {
-			firstErr = err
-			break
-		}
-		// dW += gradSample · colᵀ  (OutC×outPix · outPix×kVol)
-		colT := c.lastCols[i] // kVol × outPix; use MatMulTransB with B=col
-		dw := tensor.New(g.OutC, kVol)
-		if err := tensor.MatMulTransB(dw, gradSample, colT); err != nil {
-			firstErr = err
-			break
-		}
-		if err := tensor.Add(acc.w, dw); err != nil {
-			firstErr = err
-			break
-		}
-		// dB += row sums of gradSample.
-		for oc := 0; oc < g.OutC; oc++ {
-			s := 0.0
-			row := gradSample.Data()[oc*outH*outW : (oc+1)*outH*outW]
-			for _, v := range row {
-				s += v
+	tensor.ParallelShards(n, shards, func(s, lo, hi int) {
+		dw := tensor.Get(g.OutC, kVol)
+		db := tensor.Get(g.OutC)
+		// One scratch matrix serves both the recomputed im2col columns
+		// and (after dW no longer needs them) the dcol of the same shape.
+		col := tensor.GetUninit(kVol, planeOut)
+		cd, dwd, dbd := col.Data(), dw.Data(), db.Data()
+		for i := lo; i < hi; i++ {
+			gs := god[i*outLen : (i+1)*outLen]
+			// Recompute the columns instead of retaining them from
+			// Forward: im2col is cheap next to the GEMMs, and dropping
+			// the retained per-sample matrices removes the dominant
+			// live-heap cost of training.
+			tensor.Im2Col(cd, xd[i*imgLen:(i+1)*imgLen], g)
+			// dW += gradSample · colᵀ  (OutC×outPix · outPix×kVol)
+			tensor.GemmTransB(dwd, gs, cd, g.OutC, planeOut, kVol, true, nil)
+			// dB += row sums of gradSample.
+			for oc := 0; oc < g.OutC; oc++ {
+				sum := 0.0
+				for _, v := range gs[oc*planeOut : (oc+1)*planeOut] {
+					sum += v
+				}
+				dbd[oc] += sum
 			}
-			acc.b.Data()[oc] += s
+			// dX = col2im(Wᵀ · gradSample), overwriting the column
+			// scratch in place.
+			tensor.Gemm(cd, wtd, gs, kVol, g.OutC, planeOut, false)
+			tensor.Col2Im(gradIn.Data()[i*imgLen:(i+1)*imgLen], cd, g)
 		}
-		// dX = col2im(Wᵀ · gradSample).
-		dcol := tensor.New(kVol, outH*outW)
-		if err := tensor.MatMulTransA(dcol, c.weight.Value, gradSample); err != nil {
-			firstErr = err
-			break
+		tensor.Put(col)
+		partW[s], partB[s] = dw, db
+	})
+	tensor.Put(wT)
+	for s := range partW {
+		pw, pb := partW[s], partB[s]
+		if pw == nil {
+			continue // n < shards leaves trailing shards unused
 		}
-		tensor.Col2Im(gradIn.Data()[i*imgLen:(i+1)*imgLen], dcol.Data(), g)
-	}
-	if firstErr != nil {
-		return nil, fmt.Errorf("conv2d %q backward: %w", c.name, firstErr)
-	}
-	partials = append(partials, acc)
-	for _, p := range partials {
 		if c.mask != nil {
-			if err := tensor.Mul(p.w, c.mask); err != nil {
+			if err := tensor.Mul(pw, c.mask); err != nil {
 				return nil, fmt.Errorf("conv2d %q backward mask: %w", c.name, err)
 			}
 		}
-		if err := tensor.Add(c.weight.Grad, p.w); err != nil {
+		if err := tensor.Add(c.weight.Grad, pw); err != nil {
 			return nil, fmt.Errorf("conv2d %q backward: %w", c.name, err)
 		}
-		if err := tensor.Add(c.bias.Grad, p.b); err != nil {
+		if err := tensor.Add(c.bias.Grad, pb); err != nil {
 			return nil, fmt.Errorf("conv2d %q backward: %w", c.name, err)
 		}
+		tensor.Put(pw)
+		tensor.Put(pb)
 	}
 	return gradIn, nil
 }
+
+// convBackwardShards fixes the number of parallel shards the backward
+// batch loop splits into. It is a constant, not GOMAXPROCS, so the
+// per-shard gradient accumulation order — and therefore every trained
+// weight — is identical on every machine.
+const convBackwardShards = 4

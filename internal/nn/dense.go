@@ -15,7 +15,14 @@ type Dense struct {
 	weight  *Param // [Out, In]
 	bias    *Param // [Out]
 
+	// fusedAct, when set to ReLU (SetFusedActivation), is applied inside
+	// the forward GEMM's bias epilogue.
+	fusedAct ActKind
+
 	lastInput *tensor.Tensor
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
+	dwBuf     *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -60,6 +67,28 @@ func (d *Dense) FLOPsPerSample(in []int) int64 {
 	return 2*int64(d.in)*int64(d.out) + int64(d.out)
 }
 
+// SetFusedActivation asks the layer to apply an activation inside its
+// GEMM epilogue; only ReLU is fusable (see Conv2D.SetFusedActivation).
+func (d *Dense) SetFusedActivation(k ActKind) bool {
+	if k == ReLU {
+		d.fusedAct = ReLU
+		return true
+	}
+	d.fusedAct = 0
+	return false
+}
+
+// FusedActivation returns the currently fused activation kind (0 = none).
+func (d *Dense) FusedActivation() ActKind { return d.fusedAct }
+
+// ReleaseBuffers drops cached state and persistent buffers.
+func (d *Dense) ReleaseBuffers() {
+	d.lastInput = nil
+	d.outBuf = nil
+	d.gradInBuf = nil
+	d.dwBuf = nil
+}
+
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	n, sample, err := batchOf(x)
@@ -69,19 +98,33 @@ func (d *Dense) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	if _, err := d.OutShape(sample); err != nil {
 		return nil, err
 	}
-	out := tensor.New(n, d.out)
+	d.outBuf = reuseBufUninit(d.outBuf, n, d.out)
+	out := d.outBuf
 	x2 := x.MustReshape(n, d.in)
-	// out = x · Wᵀ
-	if err := tensor.MatMulTransB(out, x2, d.weight.Value); err != nil {
-		return nil, fmt.Errorf("dense %q forward: %w", d.name, err)
-	}
 	b := d.bias.Value.Data()
-	for i := 0; i < n; i++ {
-		row := out.Data()[i*d.out : (i+1)*d.out]
-		for j := range row {
-			row[j] += b[j]
-		}
-	}
+	od := out.Data()
+	fuseReLU := d.fusedAct == ReLU
+	// out = x · Wᵀ, with bias (and fused ReLU) applied per completed row
+	// block while it is cache-hot.
+	tensor.GemmTransB(od, x2.Data(), d.weight.Value.Data(), n, d.in, d.out, false,
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := od[i*d.out : (i+1)*d.out]
+				if fuseReLU {
+					for j, v := range row {
+						v += b[j]
+						if v < 0 {
+							v = 0
+						}
+						row[j] = v
+					}
+				} else {
+					for j := range row {
+						row[j] += b[j]
+					}
+				}
+			}
+		})
 	d.lastInput = x2
 	return out, nil
 }
@@ -96,11 +139,11 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("dense %q backward: %w: grad %v", d.name, ErrShape, gradOut.Shape())
 	}
 	g2 := gradOut.MustReshape(n, d.out)
-	// dW += gᵀ · x  ([Out,N]·[N,In]); use TransA with A = g2 (N×Out).
-	dw := tensor.New(d.out, d.in)
-	if err := tensor.MatMulTransA(dw, g2, d.lastInput); err != nil {
-		return nil, fmt.Errorf("dense %q backward dW: %w", d.name, err)
-	}
+	// dW += gᵀ · x  ([Out,N]·[N,In]); TransA with A = g2 (N×Out). The
+	// scratch dW is a persistent buffer: GemmTransA overwrites it fully.
+	d.dwBuf = reuseBufUninit(d.dwBuf, d.out, d.in)
+	dw := d.dwBuf
+	tensor.GemmTransA(dw.Data(), g2.Data(), d.lastInput.Data(), d.out, n, d.in)
 	if err := tensor.Add(d.weight.Grad, dw); err != nil {
 		return nil, err
 	}
@@ -113,9 +156,8 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dX = g · W  ([N,Out]·[Out,In]).
-	gradIn := tensor.New(n, d.in)
-	if err := tensor.MatMul(gradIn, g2, d.weight.Value); err != nil {
-		return nil, fmt.Errorf("dense %q backward dX: %w", d.name, err)
-	}
+	d.gradInBuf = reuseBufUninit(d.gradInBuf, n, d.in)
+	gradIn := d.gradInBuf
+	tensor.Gemm(gradIn.Data(), g2.Data(), d.weight.Value.Data(), n, d.out, d.in, false)
 	return gradIn, nil
 }

@@ -18,6 +18,10 @@ type Dropout struct {
 
 	lastMask *tensor.Tensor
 	training bool
+
+	maskBuf   *tensor.Tensor
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -67,14 +71,15 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) 
 	}
 	keep := 1 - d.p
 	scale := 1 / keep
-	mask := tensor.New(x.Shape()...)
-	out := x.Clone()
+	d.maskBuf = reuseBufLike(d.maskBuf, x)
+	d.outBuf = reuseBufLike(d.outBuf, x)
+	mask, out := d.maskBuf, d.outBuf
 	m := mask.Data()
 	o := out.Data()
-	for i := range o {
+	for i, v := range x.Data() {
 		if d.rng.Float64() < keep {
 			m[i] = scale
-			o[i] *= scale
+			o[i] = v * scale
 		} else {
 			m[i] = 0
 			o[i] = 0
@@ -92,9 +97,20 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if gradOut.Len() != d.lastMask.Len() {
 		return nil, fmt.Errorf("dropout %q backward: %w", d.name, ErrShape)
 	}
-	gradIn := gradOut.Clone()
-	if err := tensor.Mul(gradIn, d.lastMask); err != nil {
-		return nil, err
+	d.gradInBuf = reuseBufLike(d.gradInBuf, gradOut)
+	gradIn := d.gradInBuf
+	m := d.lastMask.Data()
+	g := gradIn.Data()
+	for i, v := range gradOut.Data() {
+		g[i] = v * m[i]
 	}
 	return gradIn, nil
+}
+
+// ReleaseBuffers drops cached state and persistent buffers.
+func (d *Dropout) ReleaseBuffers() {
+	d.lastMask = nil
+	d.maskBuf = nil
+	d.outBuf = nil
+	d.gradInBuf = nil
 }

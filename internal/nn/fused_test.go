@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// newTestConv builds a small initialized convolution.
+func newTestConv(t *testing.T, seed uint64) *Conv2D {
+	t.Helper()
+	c, err := NewConv2D(Conv2DConfig{
+		Name: "c", InC: 2, InH: 8, InW: 8, OutC: 3, Kernel: 3, Stride: 1, Pad: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(seed)
+	rng.FillNormal(c.weight.Value, 0, 0.5)
+	rng.FillNormal(c.bias.Value, 0, 0.5)
+	return c
+}
+
+// TestConvFusedReLUBitExact: running ReLU inside the convolution's GEMM
+// epilogue must produce bit-identical outputs AND gradients to the
+// unfused conv-then-activation pair. This is the contract that lets the
+// graph and layerwise executors fuse without perturbing the paper's
+// accuracy trajectories.
+func TestConvFusedReLUBitExact(t *testing.T) {
+	plain := newTestConv(t, 11)
+	fused := newTestConv(t, 11)
+	if !fused.SetFusedActivation(ReLU) {
+		t.Fatal("conv refused ReLU fusion")
+	}
+	actP, _ := NewActivation("r", ReLU)
+	actF, _ := NewActivation("r", ReLU)
+
+	x := tensor.New(4, 2, 8, 8)
+	tensor.NewRNG(7).FillNormal(x, 0, 1)
+
+	convOut, err := plain.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, err := actP.Forward(convOut, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outF, err := fused.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actF.AdoptFused(outF)
+
+	pd, fd := outP.Data(), outF.Data()
+	for i := range pd {
+		if pd[i] != fd[i] {
+			t.Fatalf("forward diverges at %d: unfused %v, fused %v", i, pd[i], fd[i])
+		}
+	}
+
+	grad := tensor.New(outP.Shape()...)
+	tensor.NewRNG(13).FillNormal(grad, 0, 1)
+
+	gP, err := actP.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ginP, err := plain.Backward(gP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gF, err := actF.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ginF, err := fused.Backward(gF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ginP.Data() {
+		if ginF.Data()[i] != v {
+			t.Fatalf("input grad diverges at %d", i)
+		}
+	}
+	for pi, pp := range plain.Params() {
+		fp := fused.Params()[pi]
+		for i, v := range pp.Grad.Data() {
+			if fp.Grad.Data()[i] != v {
+				t.Fatalf("%s grad diverges at %d: unfused %v, fused %v", pp.Name, i, v, fp.Grad.Data()[i])
+			}
+		}
+	}
+}
+
+// TestDenseFusedReLUBitExact: same contract for the fully connected layer.
+func TestDenseFusedReLUBitExact(t *testing.T) {
+	mk := func() *Dense {
+		d, err := NewDense("fc", 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := tensor.NewRNG(31)
+		rng.FillNormal(d.weight.Value, 0, 0.5)
+		rng.FillNormal(d.bias.Value, 0, 0.5)
+		return d
+	}
+	plain, fused := mk(), mk()
+	if !fused.SetFusedActivation(ReLU) {
+		t.Fatal("dense refused ReLU fusion")
+	}
+	actP, _ := NewActivation("r", ReLU)
+	actF, _ := NewActivation("r", ReLU)
+
+	x := tensor.New(5, 20)
+	tensor.NewRNG(3).FillNormal(x, 0, 1)
+
+	mid, err := plain.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outP, err := actP.Forward(mid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outF, err := fused.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actF.AdoptFused(outF)
+	for i, v := range outP.Data() {
+		if outF.Data()[i] != v {
+			t.Fatalf("forward diverges at %d", i)
+		}
+	}
+
+	grad := tensor.New(5, 7)
+	tensor.NewRNG(17).FillNormal(grad, 0, 1)
+	gP, err := actP.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ginP, err := plain.Backward(gP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gF, err := actF.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ginF, err := fused.Backward(gF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ginP.Data() {
+		if ginF.Data()[i] != v {
+			t.Fatalf("input grad diverges at %d", i)
+		}
+	}
+	for pi, pp := range plain.Params() {
+		fp := fused.Params()[pi]
+		for i, v := range pp.Grad.Data() {
+			if fp.Grad.Data()[i] != v {
+				t.Fatalf("%s grad diverges at %d", pp.Name, i)
+			}
+		}
+	}
+}
+
+// TestFusionRejectsNonReLU: only ReLU commutes with the epilogue (it is
+// the only supported fused activation); Tanh/Sigmoid must be refused and
+// clear any previously set fusion.
+func TestFusionRejectsNonReLU(t *testing.T) {
+	c := newTestConv(t, 5)
+	if c.SetFusedActivation(Tanh) {
+		t.Fatal("conv accepted Tanh fusion")
+	}
+	if c.FusedActivation() != 0 {
+		t.Fatal("rejected fusion left state set")
+	}
+	c.SetFusedActivation(ReLU)
+	if c.SetFusedActivation(Sigmoid) {
+		t.Fatal("conv accepted Sigmoid fusion")
+	}
+	if c.FusedActivation() != 0 {
+		t.Fatal("rejected fusion did not clear previous ReLU fusion")
+	}
+	d, _ := NewDense("fc", 4, 4)
+	if d.SetFusedActivation(Tanh) {
+		t.Fatal("dense accepted Tanh fusion")
+	}
+}

@@ -24,6 +24,9 @@ type LRN struct {
 	lastDenom *tensor.Tensor // d[c] = k + α·Σ a²  (pre-exponent)
 	lastPow   *tensor.Tensor // d^(−β), cached to keep math.Pow out of Backward
 	lastShape []int
+
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*LRN)(nil)
@@ -102,9 +105,12 @@ func (l *LRN) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	}
 	channels, h, w := sample[0], sample[1], sample[2]
 	plane := h * w
-	out := tensor.New(x.Shape()...)
-	denom := tensor.New(x.Shape()...)
-	dpow := tensor.New(x.Shape()...)
+	// All three full-size temporaries persist across iterations; every
+	// element is written below before any read.
+	l.outBuf = reuseBufLike(l.outBuf, x)
+	l.lastDenom = reuseBufLike(l.lastDenom, x)
+	l.lastPow = reuseBufLike(l.lastPow, x)
+	out, denom, dpow := l.outBuf, l.lastDenom, l.lastPow
 	tensor.ParallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			base := i * channels * plane
@@ -151,7 +157,8 @@ func (l *LRN) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	n := l.lastShape[0]
 	channels, h, w := l.lastShape[1], l.lastShape[2], l.lastShape[3]
 	plane := h * w
-	gradIn := tensor.New(l.lastShape...)
+	l.gradInBuf = reuseBufUninit(l.gradInBuf, l.lastShape...)
+	gradIn := l.gradInBuf
 	a := l.lastInput.Data()
 	d := l.lastDenom.Data()
 	dp := l.lastPow.Data()
@@ -182,4 +189,14 @@ func (l *LRN) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	})
 	return gradIn, nil
+}
+
+// ReleaseBuffers drops cached state and persistent buffers.
+func (l *LRN) ReleaseBuffers() {
+	l.lastInput = nil
+	l.lastDenom = nil
+	l.lastPow = nil
+	l.lastShape = nil
+	l.outBuf = nil
+	l.gradInBuf = nil
 }

@@ -158,14 +158,17 @@ func (n *Network) Predict(x *tensor.Tensor) ([]int, error) {
 	return out, nil
 }
 
-// ReleaseBuffers drops cached per-batch state in buffer-heavy layers
-// (currently convolution column matrices). Trained networks parked in a
-// cache should release buffers; the next Forward transparently
-// reallocates them.
+// bufferReleaser is implemented by layers that keep persistent
+// forward/backward buffers across iterations.
+type bufferReleaser interface{ ReleaseBuffers() }
+
+// ReleaseBuffers drops cached per-batch state and persistent buffers in
+// every layer that keeps them. Trained networks parked in a cache should
+// release buffers; the next Forward transparently reallocates them.
 func (n *Network) ReleaseBuffers() {
 	for _, l := range n.layers {
-		if c, ok := l.(*Conv2D); ok {
-			c.ReleaseBuffers()
+		if r, ok := l.(bufferReleaser); ok {
+			r.ReleaseBuffers()
 		}
 	}
 }

@@ -36,6 +36,9 @@ type Pool2D struct {
 	geom   tensor.ConvGeom // OutC unused; channels pass through
 	argmax []int           // flat in-plane index of each max, for backward
 	lastN  int
+
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
 }
 
 var _ Layer = (*Pool2D)(nil)
@@ -103,8 +106,9 @@ func (p *Pool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	outH, outW := g.OutH(), g.OutW()
 	planeIn := g.InH * g.InW
 	planeOut := outH * outW
-	out := tensor.New(n, g.InC, outH, outW)
-	if p.kind == MaxPool {
+	p.outBuf = reuseBufUninit(p.outBuf, n, g.InC, outH, outW)
+	out := p.outBuf
+	if p.kind == MaxPool && len(p.argmax) != n*g.InC*planeOut {
 		p.argmax = make([]int, n*g.InC*planeOut)
 	}
 	p.lastN = n
@@ -174,7 +178,9 @@ func (p *Pool2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if gradOut.Len() != n*g.InC*planeOut {
 		return nil, fmt.Errorf("pool2d %q backward: %w: grad %v", p.name, ErrShape, gradOut.Shape())
 	}
-	gradIn := tensor.New(n, g.InC, g.InH, g.InW)
+	p.gradInBuf = reuseBufUninit(p.gradInBuf, n, g.InC, g.InH, g.InW)
+	gradIn := p.gradInBuf
+	gradIn.Zero() // the scatter below accumulates
 	inv := 1.0 / float64(g.KH*g.KW)
 	tensor.ParallelFor(n*g.InC, func(lo, hi int) {
 		for pc := lo; pc < hi; pc++ {
@@ -212,4 +218,12 @@ func (p *Pool2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	})
 	return gradIn, nil
+}
+
+// ReleaseBuffers drops cached state and persistent buffers.
+func (p *Pool2D) ReleaseBuffers() {
+	p.argmax = nil
+	p.lastN = 0
+	p.outBuf = nil
+	p.gradInBuf = nil
 }

@@ -1,0 +1,160 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena is a size-bucketed free list of tensor backing buffers.
+//
+// Training iterates the same layer shapes thousands of times; allocating
+// forward/backward temporaries per call makes the GC the hottest "op" in
+// the profile. An Arena recycles buffers instead: Get draws from a
+// power-of-two bucket (or allocates when the bucket is empty), Put
+// returns a buffer for reuse. Retention is capped so shape changes
+// (train batch vs eval batch) cannot grow the pool without bound.
+//
+// Get returns zero-filled tensors, matching New. GetUninit skips the
+// clear for buffers every element of which the caller overwrites
+// (im2col columns, GEMM outputs with accumulate=false).
+//
+// A buffer must not be used after it is Put back; the arena does not
+// detect double-put. All methods are safe for concurrent use.
+type Arena struct {
+	mu       sync.Mutex
+	buckets  map[int][][]float64
+	retained int64 // bytes currently held in buckets
+	max      int64 // retention cap in bytes
+
+	gets, hits, puts, drops int64
+}
+
+// ArenaStats is a snapshot of arena traffic, for tests and diagnostics.
+type ArenaStats struct {
+	Gets          int64 // Get/GetUninit calls
+	Hits          int64 // Gets served from a bucket without allocating
+	Puts          int64 // buffers accepted back
+	Drops         int64 // buffers rejected (cap reached or foreign size)
+	RetainedBytes int64 // bytes currently idle in buckets
+}
+
+// NewArena returns an arena that retains at most maxRetainedBytes of idle
+// buffer capacity; beyond the cap, Put drops buffers for the GC to take.
+func NewArena(maxRetainedBytes int64) *Arena {
+	return &Arena{buckets: make(map[int][][]float64), max: maxRetainedBytes}
+}
+
+// bucketFor maps a length to its bucket capacity: the next power of two,
+// with a floor that keeps tiny buffers from fragmenting across buckets.
+func bucketFor(n int) int {
+	const minBucket = 64
+	if n <= minBucket {
+		return minBucket
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Get returns a zero-filled tensor of the given shape, reusing a pooled
+// buffer when one fits.
+func (a *Arena) Get(shape ...int) *Tensor {
+	t := a.GetUninit(shape...)
+	d := t.data
+	for i := range d {
+		d[i] = 0
+	}
+	return t
+}
+
+// GetUninit returns a tensor of the given shape whose contents are
+// unspecified. Use only when every element is written before being read.
+func (a *Arena) GetUninit(shape ...int) *Tensor {
+	n := Volume(shape)
+	if n <= 0 {
+		return New(shape...)
+	}
+	bkt := bucketFor(n)
+	a.mu.Lock()
+	a.gets++
+	free := a.buckets[bkt]
+	var buf []float64
+	if len(free) > 0 {
+		buf = free[len(free)-1]
+		a.buckets[bkt] = free[:len(free)-1]
+		a.retained -= int64(bkt) * 8
+		a.hits++
+	}
+	a.mu.Unlock()
+	if buf == nil {
+		buf = make([]float64, n, bkt)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: buf[:n]}
+}
+
+// Put returns t's backing buffer to the arena. t must not be used again,
+// nor any view sharing its data (Reshape). Tensors whose capacity is not
+// an exact bucket size (e.g. built by New) are dropped rather than
+// pooled, so Put is always safe to call.
+func (a *Arena) Put(t *Tensor) {
+	if t == nil || cap(t.data) == 0 {
+		return
+	}
+	bkt := cap(t.data)
+	if bkt != bucketFor(bkt) {
+		a.mu.Lock()
+		a.drops++
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Lock()
+	if a.retained+int64(bkt)*8 > a.max {
+		a.drops++
+		a.mu.Unlock()
+		return
+	}
+	a.buckets[bkt] = append(a.buckets[bkt], t.data[:0])
+	a.retained += int64(bkt) * 8
+	a.puts++
+	a.mu.Unlock()
+}
+
+// Release drops every idle buffer, handing them to the GC. Traffic
+// counters are preserved. Call it when a workload phase ends (e.g.
+// between benchmark cells) so retained capacity from a large model does
+// not count against the next phase's memory footprint.
+func (a *Arena) Release() {
+	a.mu.Lock()
+	a.buckets = make(map[int][][]float64)
+	a.retained = 0
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of arena traffic.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return ArenaStats{
+		Gets: a.gets, Hits: a.hits, Puts: a.puts, Drops: a.drops,
+		RetainedBytes: a.retained,
+	}
+}
+
+// defaultArena backs the package-level Get/Put used by the layer code.
+// The 1 GiB cap comfortably covers the largest benchmark cell's working
+// set while bounding idle retention after a shape change.
+var defaultArena = NewArena(1 << 30)
+
+// Get returns a zero-filled tensor from the process-wide arena.
+func Get(shape ...int) *Tensor { return defaultArena.Get(shape...) }
+
+// GetUninit returns an uninitialized tensor from the process-wide arena.
+func GetUninit(shape ...int) *Tensor { return defaultArena.GetUninit(shape...) }
+
+// Put recycles t into the process-wide arena. See Arena.Put for the
+// aliasing contract.
+func Put(t *Tensor) { defaultArena.Put(t) }
+
+// ArenaStatsSnapshot reports the process-wide arena's counters.
+func ArenaStatsSnapshot() ArenaStats { return defaultArena.Stats() }
+
+// ArenaRelease drops the process-wide arena's idle buffers.
+func ArenaRelease() { defaultArena.Release() }

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestArenaGetZeroedAfterReuse: a recycled buffer must come back
+// zero-filled from Get even when the previous user wrote garbage.
+func TestArenaGetZeroedAfterReuse(t *testing.T) {
+	a := NewArena(1 << 20)
+	x := a.Get(3, 5)
+	x.Fill(7.5)
+	a.Put(x)
+	y := a.Get(3, 5)
+	for i, v := range y.Data() {
+		if v != 0 {
+			t.Fatalf("reused Get buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	st := a.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (second Get must reuse the first buffer)", st.Hits)
+	}
+}
+
+// TestArenaBucketSharing: different shapes with the same power-of-two
+// bucket share buffers; a larger request must not receive a smaller one.
+func TestArenaBucketSharing(t *testing.T) {
+	a := NewArena(1 << 20)
+	small := a.Get(100) // bucket 128
+	a.Put(small)
+	same := a.GetUninit(120) // also bucket 128 → hit
+	if got := a.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if got := len(same.Data()); got != 120 {
+		t.Fatalf("reused tensor len = %d, want 120", got)
+	}
+	a.Put(same)
+	big := a.GetUninit(300) // bucket 512 → must allocate, not reuse 128
+	if got := a.Stats().Hits; got != 1 {
+		t.Fatalf("hits after larger request = %d, want 1 (no cross-bucket reuse)", got)
+	}
+	if got := len(big.Data()); got != 300 {
+		t.Fatalf("big tensor len = %d, want 300", got)
+	}
+}
+
+// TestArenaRetentionCap: Put drops buffers once the cap is reached
+// instead of growing without bound.
+func TestArenaRetentionCap(t *testing.T) {
+	a := NewArena(128 * 8) // exactly one 128-bucket
+	x, y := a.Get(100), a.Get(100)
+	a.Put(x)
+	a.Put(y) // over cap → dropped
+	st := a.Stats()
+	if st.Puts != 1 || st.Drops != 1 {
+		t.Fatalf("puts=%d drops=%d, want 1/1", st.Puts, st.Drops)
+	}
+	if st.RetainedBytes != 128*8 {
+		t.Fatalf("retained = %d, want %d", st.RetainedBytes, 128*8)
+	}
+}
+
+// TestArenaForeignTensorDropped: tensors built by New (capacity not a
+// bucket size) are silently rejected, so Put is safe on anything.
+func TestArenaForeignTensorDropped(t *testing.T) {
+	a := NewArena(1 << 20)
+	a.Put(New(3, 33)) // len 99, cap 99 — not a bucket size
+	st := a.Stats()
+	if st.Puts != 0 || st.Drops != 1 {
+		t.Fatalf("puts=%d drops=%d, want 0/1", st.Puts, st.Drops)
+	}
+}
+
+// TestArenaZeroVolume: degenerate shapes bypass pooling entirely.
+func TestArenaZeroVolume(t *testing.T) {
+	a := NewArena(1 << 20)
+	z := a.Get(0, 5)
+	if z.Len() != 0 {
+		t.Fatalf("zero-volume tensor has %d elements", z.Len())
+	}
+	a.Put(z)
+}
+
+// TestArenaConcurrent: hammer Get/Put from many goroutines under -race.
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(1 << 22)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 50 + (seed*31+i*7)%400
+				x := a.Get(n)
+				x.Fill(float64(seed))
+				a.Put(x)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Gets != 8*200 {
+		t.Fatalf("gets = %d, want %d", st.Gets, 8*200)
+	}
+}

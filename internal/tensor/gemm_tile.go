@@ -1,0 +1,34 @@
+package tensor
+
+// dotTileGeneric is the portable 4×2 register-tile dot product: eight
+// scalar accumulator chains over the common length of the six operand
+// slices. acc is ADDED to, so callers can split a reduction into several
+// dotTile calls (vector body + scalar tail). The all-zero skip covers
+// masked SpatialConvolutionMap weights, which zero whole kernel-sized
+// runs of the reduced dimension.
+func dotTileGeneric(a0, a1, a2, a3, b0, b1 []float64, acc *[8]float64) {
+	var s00, s01, s10, s11, s20, s21, s30, s31 float64
+	for p, av0 := range a0 {
+		av1, av2, av3 := a1[p], a2[p], a3[p]
+		if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+			continue
+		}
+		bv0, bv1 := b0[p], b1[p]
+		s00 += av0 * bv0
+		s01 += av0 * bv1
+		s10 += av1 * bv0
+		s11 += av1 * bv1
+		s20 += av2 * bv0
+		s21 += av2 * bv1
+		s30 += av3 * bv0
+		s31 += av3 * bv1
+	}
+	acc[0] += s00
+	acc[1] += s01
+	acc[2] += s10
+	acc[3] += s11
+	acc[4] += s20
+	acc[5] += s21
+	acc[6] += s30
+	acc[7] += s31
+}

@@ -1,0 +1,34 @@
+//go:build amd64
+
+package tensor
+
+// cpuHasAVX2FMA reports whether the host supports the AVX2+FMA vector
+// micro-kernel (and the OS preserves YMM state across context switches).
+// Implemented in gemm_tile_amd64.s via CPUID/XGETBV.
+func cpuHasAVX2FMA() bool
+
+// dotTile4x2Asm accumulates the eight dot products of the 4×2 tile over
+// exactly k elements (k must be a positive multiple of 4) into acc using
+// 256-bit FMA lanes. Lane sums are reduced in a fixed order, so results
+// are deterministic on a given host; they differ from the scalar chain
+// in rounding only.
+//
+//go:noescape
+func dotTile4x2Asm(a0, a1, a2, a3, b0, b1 *float64, k int, acc *[8]float64)
+
+var hasAVX2FMA = cpuHasAVX2FMA()
+
+// dotTile dispatches the 4×2 tile reduction: vector body plus scalar
+// tail when the host has AVX2+FMA, portable scalar chains otherwise.
+func dotTile(a0, a1, a2, a3, b0, b1 []float64, acc *[8]float64) {
+	k := len(a0)
+	if !hasAVX2FMA || k < 8 {
+		dotTileGeneric(a0, a1, a2, a3, b0, b1, acc)
+		return
+	}
+	k4 := k &^ 3
+	dotTile4x2Asm(&a0[0], &a1[0], &a2[0], &a3[0], &b0[0], &b1[0], k4, acc)
+	if k4 < k {
+		dotTileGeneric(a0[k4:], a1[k4:], a2[k4:], a3[k4:], b0[k4:], b1[k4:], acc)
+	}
+}

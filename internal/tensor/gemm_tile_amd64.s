@@ -1,0 +1,134 @@
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// True when the CPU advertises FMA+AVX2 and the OS has enabled YMM state
+// saving (OSXSAVE with XCR0 SSE|AVX bits set). CPUID clobbers BX, which
+// is caller-saved in Go assembly.
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	// Leaf 1: ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL $(1<<12 | 1<<27 | 1<<28), DX
+	ANDL DX, CX
+	CMPL CX, DX
+	JNE  no
+
+	// XGETBV(0): XCR0 bits 1|2 = XMM and YMM state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// Leaf 7 subleaf 0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotTile4x2Asm(a0, a1, a2, a3, b0, b1 *float64, k int, acc *[8]float64)
+//
+// Eight simultaneous dot products: rows a0..a3 against columns b0,b1,
+// k elements each (k > 0, k % 4 == 0). Y0..Y7 hold the 4-lane partial
+// sums; each is reduced low128+high128 then horizontally, a fixed
+// association that keeps results reproducible run to run. Sums are
+// ADDED to acc so the caller can append a scalar tail.
+TEXT ·dotTile4x2Asm(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b0+32(FP), R12
+	MOVQ b1+40(FP), R13
+	MOVQ k+48(FP), CX
+	MOVQ acc+56(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ   AX, AX
+
+loop:
+	VMOVUPD (R12)(AX*8), Y12
+	VMOVUPD (R13)(AX*8), Y13
+	VMOVUPD (R8)(AX*8), Y8
+	VMOVUPD (R9)(AX*8), Y9
+	VMOVUPD (R10)(AX*8), Y10
+	VMOVUPD (R11)(AX*8), Y11
+	VFMADD231PD Y12, Y8, Y0
+	VFMADD231PD Y13, Y8, Y1
+	VFMADD231PD Y12, Y9, Y2
+	VFMADD231PD Y13, Y9, Y3
+	VFMADD231PD Y12, Y10, Y4
+	VFMADD231PD Y13, Y10, Y5
+	VFMADD231PD Y12, Y11, Y6
+	VFMADD231PD Y13, Y11, Y7
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JLT  loop
+
+	// Reduce each Y accumulator to a scalar and add into acc[i].
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD       X8, X0, X0
+	VHADDPD      X0, X0, X0
+	VADDSD       0(DI), X0, X0
+	VMOVSD       X0, 0(DI)
+
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD       X8, X1, X1
+	VHADDPD      X1, X1, X1
+	VADDSD       8(DI), X1, X1
+	VMOVSD       X1, 8(DI)
+
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD       X8, X2, X2
+	VHADDPD      X2, X2, X2
+	VADDSD       16(DI), X2, X2
+	VMOVSD       X2, 16(DI)
+
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD       X8, X3, X3
+	VHADDPD      X3, X3, X3
+	VADDSD       24(DI), X3, X3
+	VMOVSD       X3, 24(DI)
+
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD       X8, X4, X4
+	VHADDPD      X4, X4, X4
+	VADDSD       32(DI), X4, X4
+	VMOVSD       X4, 32(DI)
+
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD       X8, X5, X5
+	VHADDPD      X5, X5, X5
+	VADDSD       40(DI), X5, X5
+	VMOVSD       X5, 40(DI)
+
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD       X8, X6, X6
+	VHADDPD      X6, X6, X6
+	VADDSD       48(DI), X6, X6
+	VMOVSD       X6, 48(DI)
+
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD       X8, X7, X7
+	VHADDPD      X7, X7, X7
+	VADDSD       56(DI), X7, X7
+	VMOVSD       X7, 56(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// hasAVX2FMA is always false without the amd64 assembly kernel.
+const hasAVX2FMA = false
+
+// dotTile falls back to the portable scalar tile on non-amd64 hosts.
+func dotTile(a0, a1, a2, a3, b0, b1 []float64, acc *[8]float64) {
+	dotTileGeneric(a0, a1, a2, a3, b0, b1, acc)
+}

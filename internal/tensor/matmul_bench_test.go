@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Shapes taken from the hot GEMMs of the paper's MNIST/CIFAR networks:
+// conv1/conv2 forward (im2col lowering), the conv2 backward transposes,
+// and the first fully connected layer.
+var gemmBenchShapes = []struct{ m, k, n int }{
+	{32, 25, 784},   // TF MNIST conv1 forward
+	{64, 800, 196},  // TF MNIST conv2 forward
+	{64, 1600, 64},  // CIFAR-style conv forward
+	{128, 3136, 64}, // dense-ish tall reduction
+}
+
+func BenchmarkGemm(b *testing.B) {
+	for _, s := range gemmBenchShapes {
+		b.Run(fmt.Sprintf("m%dk%dn%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := fillSeq(s.m*s.k, 3)
+			bb := fillSeq(s.k*s.n, 5)
+			c := make([]float64, s.m*s.n)
+			b.SetBytes(int64(2 * s.m * s.k * s.n)) // flops as "bytes": GB/s reads as GFLOP/s
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Gemm(c, a, bb, s.m, s.k, s.n, false)
+			}
+		})
+	}
+}
+
+func BenchmarkGemmTransA(b *testing.B) {
+	// conv2 backward dcol: c[kVol×plane] = Wᵀ[kVol×OutC]·g[OutC×plane].
+	const m, k, n = 800, 64, 196
+	a := fillSeq(k*m, 3)
+	bb := fillSeq(k*n, 5)
+	c := make([]float64, m*n)
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTransA(c, a, bb, m, k, n)
+	}
+}
+
+func BenchmarkGemmTransB(b *testing.B) {
+	// conv2 backward dW: c[OutC×kVol] += g[OutC×plane]·colᵀ[kVol×plane].
+	const m, k, n = 64, 196, 800
+	a := fillSeq(m*k, 3)
+	bb := fillSeq(n*k, 5)
+	c := make([]float64, m*n)
+	b.SetBytes(int64(2 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmTransB(c, a, bb, m, k, n, true, nil)
+	}
+}

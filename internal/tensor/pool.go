@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent worker pool for the parallel kernels.
+//
+// parallelRows used to spawn GOMAXPROCS goroutines on every GEMM /
+// ParallelFor call — thousands of goroutine launches per training epoch.
+// The pool below is started lazily on the first parallel call and lives
+// for the rest of the process: workers are pinned to OS threads and block
+// on a shared job channel; each call publishes one job describing a row
+// range, and workers (plus the caller itself) claim fixed-size chunks of
+// that range with an atomic cursor.
+//
+// Two properties keep this deadlock-free and semantics-preserving:
+//
+//   - Job submission never blocks. The caller posts at most nChunks-1
+//     copies of the job with a non-blocking send and then helps execute
+//     chunks itself, so even with zero free workers (or under nested
+//     parallelism, where a worker's body issues its own parallel call)
+//     every chunk is executed and the call terminates.
+//   - The panic contract of the old implementation is preserved: the
+//     first panic from any chunk is captured (sync.Once) and re-raised on
+//     the calling goroutine after all chunks finish, so executor recover
+//     guards still convert kernel panics into errors.
+type prJob struct {
+	body    func(chunk, lo, hi int)
+	n       int
+	chunk   int
+	nChunks int64
+	next    atomic.Int64
+	wg      sync.WaitGroup
+
+	panicOnce sync.Once
+	panicked  any
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *prJob
+)
+
+// ensurePool starts the process-wide workers on first use. GOMAXPROCS-1
+// workers is enough: the calling goroutine always participates, so with
+// the caller included the pool saturates every P.
+func ensurePool() chan *prJob {
+	poolOnce.Do(func() {
+		poolJobs = make(chan *prJob, 256)
+		for i := runtime.GOMAXPROCS(0) - 1; i > 0; i-- {
+			go poolWorker(poolJobs)
+		}
+	})
+	return poolJobs
+}
+
+func poolWorker(jobs <-chan *prJob) {
+	// Pinning each worker to an OS thread keeps the scheduler from
+	// migrating GEMM inner loops mid-tile, which costs cache residency.
+	runtime.LockOSThread()
+	for j := range jobs {
+		j.help()
+	}
+}
+
+// help claims and executes chunks until the job's cursor is exhausted.
+// It is called by pool workers and by the submitting goroutine alike.
+func (j *prJob) help() {
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.nChunks {
+			return
+		}
+		j.runChunk(int(c))
+	}
+}
+
+func (j *prJob) runChunk(c int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicOnce.Do(func() { j.panicked = r })
+		}
+	}()
+	lo := c * j.chunk
+	hi := lo + j.chunk
+	if hi > j.n {
+		hi = j.n
+	}
+	j.body(c, lo, hi)
+}
+
+// parallelChunks runs body over the fixed partition of [0, n) into
+// nChunks contiguous chunks (chunk c covers [c*ceil(n/nChunks), ...)).
+// The partition — and therefore any per-chunk numeric accumulation
+// order — depends only on (n, nChunks), never on GOMAXPROCS or worker
+// availability, so results are deterministic across machines.
+func parallelChunks(n, nChunks int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if nChunks > n {
+		nChunks = n
+	}
+	chunk := (n + nChunks - 1) / nChunks
+	nChunks = (n + chunk - 1) / chunk
+	if nChunks <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		// Sequential fast path: identical partition, same goroutine.
+		for c := 0; c < nChunks; c++ {
+			lo := c * chunk
+			hi := min(lo+chunk, n)
+			body(c, lo, hi)
+		}
+		return
+	}
+	jobs := ensurePool()
+	j := &prJob{body: body, n: n, chunk: chunk, nChunks: int64(nChunks)}
+	j.wg.Add(nChunks)
+	// Offer the job to at most nChunks-1 idle workers; never block.
+	// The channel retains stale pointers until drained — harmless,
+	// because help() on a finished job is a no-op.
+	for i := 0; i < nChunks-1; i++ {
+		select {
+		case jobs <- j:
+		default:
+			i = nChunks // channel full; stop offering
+		}
+	}
+	j.help()
+	j.wg.Wait()
+	if j.panicked != nil {
+		panic(j.panicked)
+	}
+}
+
+// parallelRows splits [0, m) into contiguous chunks and runs body on each,
+// using the worker pool only when m is large enough to amortize dispatch.
+//
+// A panic inside a worker is captured and re-raised on the calling
+// goroutine after all chunks finish, so callers (the executors' recover
+// guards) can convert it into an error instead of the runtime killing the
+// whole process.
+func parallelRows(m int, body func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if m < gemmParallelThreshold || workers <= 1 {
+		body(0, m)
+		return
+	}
+	parallelChunks(m, workers, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ParallelShards partitions [0, n) into at most `shards` contiguous
+// chunks and runs body(shard, lo, hi) for each, in parallel when the
+// machine allows. Unlike ParallelFor it has no minimum-size threshold
+// and the partition is fixed by (n, shards) alone, so callers can keep
+// deterministic per-shard accumulators regardless of core count.
+func ParallelShards(n, shards int, body func(shard, lo, hi int)) {
+	if shards < 1 {
+		shards = 1
+	}
+	parallelChunks(n, shards, body)
+}

@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withProcs temporarily raises GOMAXPROCS so the worker-pool paths run
+// even on single-CPU machines, restoring it afterwards.
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+// TestWorkerPoolCoversRange: every index in [0, n) is executed exactly
+// once, whichever mix of pool workers and the caller claims the chunks.
+func TestWorkerPoolCoversRange(t *testing.T) {
+	withProcs(t, 4, func() {
+		const n = 1000
+		var hits [n]int32
+		parallelRows(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("index %d executed %d times, want 1", i, h)
+			}
+		}
+	})
+}
+
+// TestWorkerPoolPanicPropagates: the panic-capture contract survives the
+// move to a persistent pool — the caller sees the worker's panic.
+func TestWorkerPoolPanicPropagates(t *testing.T) {
+	withProcs(t, 4, func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic from pooled worker was not re-raised on caller")
+			}
+		}()
+		parallelRows(64, func(lo, hi int) {
+			if lo == 0 {
+				panic("kernel boom")
+			}
+		})
+	})
+}
+
+// TestWorkerPoolSurvivesPanic: a panic must not kill pool workers; the
+// next call still completes.
+func TestWorkerPoolSurvivesPanic(t *testing.T) {
+	withProcs(t, 4, func() {
+		func() {
+			defer func() { recover() }()
+			parallelRows(64, func(lo, hi int) { panic("boom") })
+		}()
+		var count atomic.Int64
+		parallelRows(256, func(lo, hi int) { count.Add(int64(hi - lo)) })
+		if count.Load() != 256 {
+			t.Fatalf("post-panic call covered %d rows, want 256", count.Load())
+		}
+	})
+}
+
+// TestWorkerPoolNestedParallelism: a parallel body issuing its own
+// parallel call must not deadlock — the caller-helps design guarantees
+// progress even with every worker busy.
+func TestWorkerPoolNestedParallelism(t *testing.T) {
+	withProcs(t, 4, func() {
+		var total atomic.Int64
+		parallelRows(64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				parallelRows(32, func(l2, h2 int) {
+					total.Add(int64(h2 - l2))
+				})
+			}
+		})
+		if got := total.Load(); got != 64*32 {
+			t.Fatalf("nested coverage = %d, want %d", got, 64*32)
+		}
+	})
+}
+
+// TestWorkerPoolGoroutineCountStable: repeated parallel calls reuse the
+// persistent workers instead of spawning per call.
+func TestWorkerPoolGoroutineCountStable(t *testing.T) {
+	withProcs(t, 4, func() {
+		parallelRows(256, func(lo, hi int) {}) // warm the pool up
+		runtime.Gosched()
+		before := runtime.NumGoroutine()
+		for i := 0; i < 100; i++ {
+			parallelRows(256, func(lo, hi int) {})
+		}
+		after := runtime.NumGoroutine()
+		if after > before+2 {
+			t.Fatalf("goroutines grew %d -> %d across 100 calls; pool is not persistent", before, after)
+		}
+	})
+}
+
+// TestParallelShardsDeterministicPartition: the shard partition depends
+// only on (n, shards) — parallel and sequential execution see identical
+// (shard, lo, hi) triples, so per-shard accumulation is reproducible.
+func TestParallelShardsDeterministicPartition(t *testing.T) {
+	collect := func() [][3]int {
+		var mu [16][3]int
+		var seen atomic.Int64
+		ParallelShards(103, 4, func(s, lo, hi int) {
+			mu[s] = [3]int{s, lo, hi}
+			seen.Add(1)
+		})
+		return append([][3]int(nil), mu[:seen.Load()]...)
+	}
+	var par, seq [][3]int
+	withProcs(t, 4, func() { par = collect() })
+	withProcs(t, 1, func() { seq = collect() })
+	if len(par) != len(seq) || len(par) != 4 {
+		t.Fatalf("shard counts differ: parallel %d, sequential %d", len(par), len(seq))
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("shard %d partition differs: parallel %v, sequential %v", i, par[i], seq[i])
+		}
+	}
+	// The partition must cover [0, n) contiguously in shard order.
+	next := 0
+	for _, sh := range par {
+		if sh[1] != next || sh[2] <= sh[1] {
+			t.Fatalf("non-contiguous partition: %v (expected lo %d)", sh, next)
+		}
+		next = sh[2]
+	}
+	if next != 103 {
+		t.Fatalf("partition ends at %d, want 103", next)
+	}
+}
+
+// TestParallelShardsClampsToN: more shards than items degrades to one
+// item per shard, never an empty shard.
+func TestParallelShardsClampsToN(t *testing.T) {
+	var n atomic.Int64
+	ParallelShards(3, 8, func(s, lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("shard %d spans [%d,%d), want a single item", s, lo, hi)
+		}
+		n.Add(1)
+	})
+	if n.Load() != 3 {
+		t.Fatalf("ran %d shards, want 3", n.Load())
+	}
+}

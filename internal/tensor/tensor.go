@@ -157,6 +157,21 @@ func (t *Tensor) CopyFrom(src *Tensor) error {
 	return nil
 }
 
+// ShapeIs reports whether t's shape equals dims. Unlike comparing against
+// Shape() it allocates nothing, so buffer-reuse checks can run per
+// iteration for free.
+func (t *Tensor) ShapeIs(dims ...int) bool {
+	if len(t.shape) != len(dims) {
+		return false
+	}
+	for i, d := range dims {
+		if t.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
 // SameShape reports whether t and o have identical shapes.
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.shape) != len(o.shape) {
