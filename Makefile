@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race obs-overhead chaos bench bench-compare bench-log microbench trace-demo clean
+.PHONY: check vet build test race obs-overhead chaos serve-smoke bench bench-compare bench-log microbench trace-demo clean
 
-check: vet build test race obs-overhead chaos bench-compare bench-log
+check: vet build test race obs-overhead chaos serve-smoke bench-compare bench-log
 
 vet:
 	$(GO) vet ./...
@@ -27,12 +27,13 @@ test:
 	$(GO) test -timeout 30m ./...
 	$(GO) test -race -timeout 30m $$($(GO) list ./... | grep -v '/internal/core$$')
 
-# Focused race pass over the kernel/layer/executor hot path: the worker
-# pool, arena, fused epilogues and sharded backward are where new
-# concurrency lives, so this trio gets an explicit -count=1 run (the
-# broad `test` race pass above may serve cached results).
+# Focused race pass over the kernel/layer/executor hot path and the
+# serve daemon: the worker pool, arena, fused epilogues, sharded
+# backward, and the server's admission/queue/drain machinery are where
+# concurrency lives, so these get an explicit -count=1 run (the broad
+# `test` race pass above may serve cached results).
 race:
-	$(GO) test -race -count=1 -timeout 15m ./internal/tensor/... ./internal/nn/... ./internal/engine/...
+	$(GO) test -race -count=1 -timeout 15m ./internal/tensor/... ./internal/nn/... ./internal/engine/... ./internal/server/...
 
 # The acceptance guard from internal/obs: the nil-tracer fast path must
 # stay under 2% of a training iteration, and the disabled-primitive
@@ -78,6 +79,13 @@ bench-compare:
 	else \
 		echo "bench-compare: WARNING: $$2 regressed against $$1 (non-fatal)"; \
 	fi
+
+# End-to-end daemon smoke: start `dlbench serve` on port 0 with a
+# journal, push a small loadgen burst through it (the accounting
+# invariant — completed/failed/explicitly-rejected, never lost — is
+# loadgen's exit code), then SIGTERM and require a clean drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
 
 # Go microbenchmarks (one per paper table/figure plus ablations).
 microbench:

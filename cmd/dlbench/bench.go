@@ -179,11 +179,16 @@ func compareReports(w io.Writer, baseline, current *profile.BenchReport, thresho
 
 // runBenchLog renders the benchmark trajectory: every BENCH_*.json in dir
 // in numeric order, as an index table plus per-cell sparkline columns.
-// An empty directory is not an error — there is simply nothing to show.
+// An empty directory is not an error — there is simply nothing to show —
+// and a corrupt or truncated report is skipped with a warning so the
+// rest of the trajectory still renders.
 func runBenchLog(w io.Writer, dir string) error {
-	points, err := profile.LoadTrajectory(dir)
+	points, warnings, err := profile.LoadTrajectory(dir)
 	if err != nil {
 		return err
+	}
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
 	}
 	if len(points) == 0 {
 		fmt.Fprintf(w, "no BENCH_*.json reports found in %s\n", dir)

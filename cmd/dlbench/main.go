@@ -72,6 +72,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -137,6 +138,14 @@ func run(args []string) error {
 	if len(targets) == 0 {
 		return fmt.Errorf("no experiments given; try: dlbench fig1, or dlbench all\nknown: %s", strings.Join(knownExperiments(), " "))
 	}
+	// The serve daemon dispatches before any suite construction: it
+	// builds suites per job, owns its own flags (everything after
+	// "serve"), and drains on SIGINT/SIGTERM.
+	if targets[0] == "serve" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runServe(ctx, targets[1:], &progressSink{w: os.Stderr, quiet: *quiet})
+	}
 	// Query subcommands over existing reports: neither runs anything, so
 	// they dispatch before any suite construction.
 	if targets[0] == "bench" && len(targets) > 1 {
@@ -169,10 +178,12 @@ func run(args []string) error {
 	sink := &progressSink{w: os.Stderr, quiet: *quiet}
 	suite.Progress = sink.printf
 
-	// Cancellation: SIGINT and -timeout share one context; everything
-	// below observes it at iteration/batch granularity and the partial
-	// outputs are still written on the way out.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Cancellation: SIGINT, SIGTERM and -timeout share one context;
+	// everything below observes it at iteration/batch granularity and the
+	// partial outputs are still written on the way out. SIGTERM matters
+	// beyond the terminal: it is what container runtimes and process
+	// supervisors send first, and the serve daemon's drain hangs off it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

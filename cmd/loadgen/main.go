@@ -1,0 +1,265 @@
+// Command loadgen hammers a running `dlbench serve` daemon with many
+// concurrent clients and reports what the admission-control machinery did
+// with the load: how many jobs were accepted, completed, failed,
+// rate-limited, rejected at the queue, or shed under resource pressure —
+// plus submit and end-to-end tail latencies (p50/p95/p99).
+//
+// Its core invariant check is accounting: every submission must end as
+// either a terminal job (completed/failed) or an explicit rejection. A
+// job that was accepted but never reaches a terminal state before the
+// deadline is reported as lost, and loadgen exits non-zero — a daemon
+// under overload may refuse work, but it must never lose accepted work
+// silently.
+//
+//	dlbench serve -addr localhost:8080 -workers 2 &
+//	loadgen -addr localhost:8080 -clients 32 -jobs 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// submitReply mirrors the daemon's POST /jobs response body.
+type submitReply struct {
+	ID                string `json:"id"`
+	Status            string `json:"status"`
+	Reason            string `json:"reason"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// jobView mirrors the fields of GET /jobs/{id} loadgen cares about.
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// tally accumulates per-outcome counts and latencies across clients.
+type tally struct {
+	mu          sync.Mutex
+	counts      map[string]int
+	submitLat   []time.Duration // all submissions (accepted or rejected)
+	endToEndLat []time.Duration // accepted jobs that reached a terminal state
+	lost        []string        // accepted but never terminal before the deadline
+	errors      []string        // transport/protocol errors
+}
+
+func newTally() *tally { return &tally{counts: map[string]int{}} }
+
+func (t *tally) count(key string) { t.mu.Lock(); t.counts[key]++; t.mu.Unlock() }
+func (t *tally) submit(d time.Duration) {
+	t.mu.Lock()
+	t.submitLat = append(t.submitLat, d)
+	t.mu.Unlock()
+}
+func (t *tally) endToEnd(d time.Duration) {
+	t.mu.Lock()
+	t.endToEndLat = append(t.endToEndLat, d)
+	t.mu.Unlock()
+}
+func (t *tally) lose(id string) { t.mu.Lock(); t.lost = append(t.lost, id); t.mu.Unlock() }
+func (t *tally) fail(format string, args ...any) {
+	t.mu.Lock()
+	t.errors = append(t.errors, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (0..100) of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func latencyLine(name string, lats []time.Duration) string {
+	if len(lats) == 0 {
+		return fmt.Sprintf("%-12s n=0", name)
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("%-12s n=%-5d p50=%-10v p95=%-10v p99=%-10v max=%v",
+		name, len(sorted), percentile(sorted, 50), percentile(sorted, 95), percentile(sorted, 99), sorted[len(sorted)-1])
+}
+
+// client runs one synthetic client: submit jobs jobs, poll each accepted
+// one to a terminal state, and record every outcome.
+func client(base string, name string, jobs int, body, crashBody string, crashEvery int, poll, deadline time.Duration, t *tally) {
+	hc := &http.Client{Timeout: 30 * time.Second}
+	for n := 1; n <= jobs; n++ {
+		spec := body
+		if crashEvery > 0 && n%crashEvery == 0 {
+			spec = crashBody
+		}
+		start := time.Now()
+		req, err := http.NewRequest("POST", base+"/jobs", strings.NewReader(spec))
+		if err != nil {
+			t.fail("%s: build request: %v", name, err)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-DLBench-Client", name)
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.fail("%s: submit: %v", name, err)
+			continue
+		}
+		var reply submitReply
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		t.submit(time.Since(start))
+		if err != nil {
+			t.fail("%s: decode submit reply: %v", name, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			// An explicit rejection is a legitimate overload outcome;
+			// anything unnamed is a protocol error.
+			switch reply.Status {
+			case "ratelimited", "queue_full", "shed", "draining":
+				t.count(reply.Status)
+			default:
+				t.fail("%s: submit rejected %d with unexpected status %q (%s)", name, resp.StatusCode, reply.Status, reply.Reason)
+			}
+			continue
+		}
+		t.count("accepted")
+		if state := pollTerminal(hc, base, reply.ID, poll, deadline); state == "" {
+			t.lose(reply.ID)
+		} else {
+			t.count(state)
+			t.endToEnd(time.Since(start))
+		}
+	}
+}
+
+// pollTerminal polls the job until completed/failed, returning its final
+// state ("" when the deadline passes first).
+func pollTerminal(hc *http.Client, base, id string, poll, deadline time.Duration) string {
+	limit := time.Now().Add(deadline)
+	for time.Now().Before(limit) {
+		resp, err := hc.Get(base + "/jobs/" + id)
+		if err == nil {
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err == nil && (v.State == "completed" || v.State == "failed") {
+				return v.State
+			}
+		}
+		time.Sleep(poll)
+	}
+	return ""
+}
+
+// serverCounters scrapes /metrics for the daemon-side dlbench_server_*
+// family, so the report shows both sides of the ledger.
+func serverCounters(base string) []string {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return []string{fmt.Sprintf("(metrics unavailable: %v)", err)}
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return []string{fmt.Sprintf("(metrics unreadable: %v)", err)}
+	}
+	var out []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "dlbench_server_") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:8080", "daemon address (host:port)")
+	clients := flag.Int("clients", 32, "concurrent clients")
+	jobs := flag.Int("jobs", 4, "jobs per client")
+	body := flag.String("body", `{"framework":"tf","dataset":"mnist","scale":"test"}`, "job spec JSON")
+	crashEvery := flag.Int("crash-every", 0, "inject a crash fault into every Nth job per client (0 disables)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "job status poll interval")
+	deadline := flag.Duration("deadline", 5*time.Minute, "per-job wait deadline before declaring it lost")
+	flag.Parse()
+
+	base := "http://" + *addr
+	crashBody := crashSpec(*body)
+	t := newTally()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client(base, fmt.Sprintf("loadgen-%d", i), *jobs, *body, crashBody, *crashEvery, *poll, *deadline, t)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	submitted := *clients * *jobs
+	accounted := t.counts["completed"] + t.counts["failed"] +
+		t.counts["ratelimited"] + t.counts["queue_full"] + t.counts["shed"] + t.counts["draining"]
+
+	fmt.Printf("loadgen: %d clients x %d jobs against %s in %v\n", *clients, *jobs, base, elapsed.Round(time.Millisecond))
+	fmt.Printf("  submitted   %d\n", submitted)
+	for _, k := range []string{"accepted", "completed", "failed", "ratelimited", "queue_full", "shed", "draining"} {
+		fmt.Printf("  %-11s %d\n", k, t.counts[k])
+	}
+	fmt.Printf("  lost        %d\n", len(t.lost))
+	fmt.Printf("  errors      %d\n", len(t.errors))
+	fmt.Println("  " + latencyLine("submit", t.submitLat))
+	fmt.Println("  " + latencyLine("end-to-end", t.endToEndLat))
+	fmt.Println("daemon-side counters (/metrics):")
+	for _, line := range serverCounters(base) {
+		fmt.Println("  " + line)
+	}
+
+	ok := true
+	if len(t.lost) > 0 {
+		ok = false
+		fmt.Printf("FAIL: %d accepted job(s) never reached a terminal state: %v\n", len(t.lost), t.lost)
+	}
+	for _, e := range t.errors {
+		ok = false
+		fmt.Println("ERROR: " + e)
+	}
+	if accounted+len(t.lost)+len(t.errors) != submitted {
+		ok = false
+		fmt.Printf("FAIL: accounting mismatch: %d outcomes for %d submissions\n", accounted+len(t.lost)+len(t.errors), submitted)
+	}
+	if ok {
+		fmt.Println("OK: every submission completed, failed, or was explicitly rejected — none lost")
+		return 0
+	}
+	return 1
+}
+
+// crashSpec derives the crash-injected variant of the job body.
+func crashSpec(body string) string {
+	var spec map[string]any
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		return body
+	}
+	spec["faults"] = "crash@1"
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return body
+	}
+	return string(b)
+}
+
+func main() { os.Exit(run()) }

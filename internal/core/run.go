@@ -75,16 +75,34 @@ func (s *Suite) assemble(spec RunSpec, tm *trainedModel) (metrics.RunResult, err
 	}, nil
 }
 
-// model returns the cached training computation for spec, training it on
-// first use.
-func (s *Suite) model(ctx context.Context, spec RunSpec) (*trainedModel, error) {
-	key := modelKey{
+// keyFor builds the model-cache key identifying spec's training
+// computation.
+func keyFor(spec RunSpec) modelKey {
+	return modelKey{
 		fw:         spec.Framework,
 		settingsFW: spec.SettingsFW,
 		settingsDS: spec.SettingsDS,
 		data:       spec.Data,
 		variant:    variantFor(spec),
 	}
+}
+
+// ReleaseModel drops one cell's cached trained model, so the next run of
+// that cell retrains instead of reusing the memoized computation. The
+// serve daemon calls this before every job: a benchmark service must
+// measure each submitted job fresh — and a fault-armed job must actually
+// execute its fault plan, which a cache hit would silently skip — while
+// the suite's datasets stay warm.
+func (s *Suite) ReleaseModel(spec RunSpec) {
+	s.mu.Lock()
+	delete(s.models, keyFor(spec))
+	s.mu.Unlock()
+}
+
+// model returns the cached training computation for spec, training it on
+// first use.
+func (s *Suite) model(ctx context.Context, spec RunSpec) (*trainedModel, error) {
+	key := keyFor(spec)
 	s.mu.Lock()
 	tm, ok := s.models[key]
 	s.mu.Unlock()

@@ -364,7 +364,7 @@ func (s *Suite) trainResilient(ctx context.Context, r *trainingRun) error {
 		s.Obs.Emit("resilience.rollback", map[string]any{"cell": r.cell, "iter": r.mem.Iteration})
 		startIter = r.mem.Iteration
 		recovered = true
-		if err := resilience.Sleep(ctx, resilience.Backoff(r.attempt-1, policy.BackoffBase, policy.BackoffMax)); err != nil {
+		if err := resilience.Sleep(ctx, resilience.JitteredBackoff(r.attempt-1, policy.BackoffBase, policy.BackoffMax)); err != nil {
 			return err
 		}
 	}

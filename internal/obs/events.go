@@ -66,27 +66,39 @@ func (t *Tracer) EventsDropped() int64 {
 	return t.eventsDropped
 }
 
-// WriteEventsJSONL writes the event log as JSON Lines: one object per
-// event with "ts_ns" and "type" keys plus the event's fields flattened to
-// the top level (fields named ts_ns/type would be shadowed; event types
-// do not use those names). Keys within each line are sorted by
-// encoding/json's map ordering, so output is deterministic.
+// EventLine renders one event as a JSONL line (newline included): an
+// object with "ts_ns" and "type" keys plus the event's fields flattened
+// to the top level (fields named ts_ns/type would be shadowed; event
+// types do not use those names). Keys within the line are sorted by
+// encoding/json's map ordering, so output is deterministic. Exported so
+// consumers that stream events incrementally (the serve daemon's
+// /jobs/{id}/events endpoint) emit the exact file-export wire format.
+func EventLine(ev Event) ([]byte, error) {
+	line := make(map[string]any, len(ev.Fields)+2)
+	for k, v := range ev.Fields {
+		line[k] = v
+	}
+	line["ts_ns"] = ev.NS
+	line["type"] = ev.Type
+	b, err := json.Marshal(line)
+	if err != nil {
+		return nil, fmt.Errorf("obs: encode event %q: %w", ev.Type, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteEventsJSONL writes the event log as JSON Lines, one EventLine per
+// event in emission order.
 func WriteEventsJSONL(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return fmt.Errorf("obs: cannot export events from a nil tracer")
 	}
 	for _, ev := range t.Events() {
-		line := make(map[string]any, len(ev.Fields)+2)
-		for k, v := range ev.Fields {
-			line[k] = v
-		}
-		line["ts_ns"] = ev.NS
-		line["type"] = ev.Type
-		b, err := json.Marshal(line)
+		b, err := EventLine(ev)
 		if err != nil {
-			return fmt.Errorf("obs: encode event %q: %w", ev.Type, err)
+			return err
 		}
-		if _, err := w.Write(append(b, '\n')); err != nil {
+		if _, err := w.Write(b); err != nil {
 			return fmt.Errorf("obs: write event log: %w", err)
 		}
 	}

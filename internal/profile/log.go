@@ -24,10 +24,14 @@ type TrajectoryPoint struct {
 // BENCH_12; names without a number sort after, alphabetically). Mixed
 // schema versions load together — that is the point of a trajectory
 // spanning PRs.
-func LoadTrajectory(dir string) ([]TrajectoryPoint, error) {
+//
+// A corrupt or truncated report (interrupted benchmark run, partial
+// copy) is skipped with a warning rather than aborting the listing: one
+// bad file must not hide the rest of the trajectory.
+func LoadTrajectory(dir string) ([]TrajectoryPoint, []string, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
 	if err != nil {
-		return nil, fmt.Errorf("profile: glob bench reports: %w", err)
+		return nil, nil, fmt.Errorf("profile: glob bench reports: %w", err)
 	}
 	sort.Slice(paths, func(i, j int) bool {
 		ni, oki := benchSeq(paths[i])
@@ -42,14 +46,16 @@ func LoadTrajectory(dir string) ([]TrajectoryPoint, error) {
 		}
 	})
 	out := make([]TrajectoryPoint, 0, len(paths))
+	var warnings []string
 	for _, p := range paths {
 		r, err := LoadBenchReport(p)
 		if err != nil {
-			return nil, err
+			warnings = append(warnings, fmt.Sprintf("skipping %s: %v", filepath.Base(p), err))
+			continue
 		}
 		out = append(out, TrajectoryPoint{Path: p, Report: r})
 	}
-	return out, nil
+	return out, warnings, nil
 }
 
 // benchSeq extracts the numeric suffix from a BENCH_<n>.json path.

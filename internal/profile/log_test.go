@@ -62,9 +62,12 @@ func TestLoadTrajectoryMixedSchemas(t *testing.T) {
 	}
 	f.Close()
 
-	points, err := LoadTrajectory(dir)
+	points, warnings, err := LoadTrajectory(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean trajectory produced warnings: %v", warnings)
 	}
 	if len(points) != 2 {
 		t.Fatalf("loaded %d reports, want 2", len(points))
@@ -90,11 +93,56 @@ func TestLoadTrajectoryMixedSchemas(t *testing.T) {
 }
 
 func TestLoadTrajectoryEmptyDir(t *testing.T) {
-	points, err := LoadTrajectory(t.TempDir())
+	points, warnings, err := LoadTrajectory(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(points) != 0 {
-		t.Fatalf("empty dir yielded %d reports", len(points))
+	if len(points) != 0 || len(warnings) != 0 {
+		t.Fatalf("empty dir yielded %d reports, %d warnings", len(points), len(warnings))
+	}
+}
+
+// TestLoadTrajectorySkipsCorruptReports: a truncated or non-JSON report
+// in the directory is skipped with a warning; the healthy reports still
+// load in order. One interrupted benchmark run must not hide the whole
+// trajectory.
+func TestLoadTrajectorySkipsCorruptReports(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_1.json"), []byte(v1ReportJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated copy of a real report (crash mid-write).
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2.json"), []byte(v1ReportJSON[:len(v1ReportJSON)/2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage that is not JSON at all.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), []byte("not json\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchReport(f, v2Report()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	points, warnings, err := LoadTrajectory(dir)
+	if err != nil {
+		t.Fatalf("corrupt members aborted the trajectory: %v", err)
+	}
+	if len(points) != 2 ||
+		filepath.Base(points[0].Path) != "BENCH_1.json" ||
+		filepath.Base(points[1].Path) != "BENCH_4.json" {
+		t.Fatalf("points = %+v, want BENCH_1 and BENCH_4", points)
+	}
+	if len(warnings) != 2 {
+		t.Fatalf("warnings = %v, want one per corrupt file", warnings)
+	}
+	for i, name := range []string{"BENCH_2.json", "BENCH_3.json"} {
+		if !strings.Contains(warnings[i], name) {
+			t.Errorf("warning %d = %q, want it to name %s", i, warnings[i], name)
+		}
 	}
 }

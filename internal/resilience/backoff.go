@@ -2,11 +2,15 @@ package resilience
 
 import (
 	"context"
+	"math/rand/v2"
 	"time"
 )
 
-// Backoff returns the delay before retry attempt (0-based): base doubled
-// per attempt, capped at max.
+// Backoff returns the deterministic delay before retry attempt (0-based):
+// base doubled per attempt, capped at max. Prefer JitteredBackoff for
+// anything that can retry concurrently with other clients — deterministic
+// doubling synchronizes retries into a thundering herd against shared
+// resources (the serve daemon most of all).
 func Backoff(attempt int, base, max time.Duration) time.Duration {
 	if base <= 0 {
 		return 0
@@ -22,6 +26,31 @@ func Backoff(attempt int, base, max time.Duration) time.Duration {
 		d = max
 	}
 	return d
+}
+
+// BackoffJitter spreads the deterministic Backoff delay over its top
+// half: the result is uniform in [d/2, d] for d = Backoff(attempt, base,
+// max), keeping the exponential envelope (and its cap) while decorrelating
+// concurrent retriers. u must be in [0, 1); it is the caller's randomness
+// so the function stays pure and testable.
+func BackoffJitter(attempt int, base, max time.Duration, u float64) time.Duration {
+	d := Backoff(attempt, base, max)
+	if d <= 0 {
+		return 0
+	}
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = 1
+	}
+	half := d / 2
+	return half + time.Duration(u*float64(d-half))
+}
+
+// JitteredBackoff is BackoffJitter under the shared PRNG — the drop-in
+// replacement for Backoff at call sites that sleep before retrying.
+func JitteredBackoff(attempt int, base, max time.Duration) time.Duration {
+	return BackoffJitter(attempt, base, max, rand.Float64())
 }
 
 // Sleep waits for d or until ctx is cancelled, returning the context's

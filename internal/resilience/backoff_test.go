@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds proves the jittered delay always lands inside
+// [d/2, d] for the deterministic envelope d, across attempts and across
+// the full u range — the property that prevents a thundering herd while
+// keeping the exponential cap honest.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, time.Second
+	for attempt := 0; attempt < 12; attempt++ {
+		d := Backoff(attempt, base, max)
+		for _, u := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+			got := BackoffJitter(attempt, base, max, u)
+			if got < d/2 || got > d {
+				t.Errorf("BackoffJitter(attempt=%d, u=%g) = %v, want in [%v, %v]", attempt, u, got, d/2, d)
+			}
+		}
+		// The envelope endpoints are exact: u=0 is half the deterministic
+		// delay, u->1 approaches (and u=1 clamps to) the full delay.
+		if got := BackoffJitter(attempt, base, max, 0); got != d/2 {
+			t.Errorf("BackoffJitter(attempt=%d, u=0) = %v, want %v", attempt, got, d/2)
+		}
+		if got := BackoffJitter(attempt, base, max, 1); got != d {
+			t.Errorf("BackoffJitter(attempt=%d, u=1) = %v, want %v", attempt, got, d)
+		}
+	}
+}
+
+// TestBackoffJitterOutOfRangeU clamps caller randomness outside [0, 1)
+// instead of extrapolating beyond the envelope.
+func TestBackoffJitterOutOfRangeU(t *testing.T) {
+	base, max := 10*time.Millisecond, time.Second
+	d := Backoff(2, base, max)
+	if got := BackoffJitter(2, base, max, -3); got != d/2 {
+		t.Errorf("u=-3: got %v, want %v", got, d/2)
+	}
+	if got := BackoffJitter(2, base, max, 7); got != d {
+		t.Errorf("u=7: got %v, want %v", got, d)
+	}
+}
+
+// TestBackoffJitterDisabled mirrors Backoff: a non-positive base means no
+// delay regardless of jitter.
+func TestBackoffJitterDisabled(t *testing.T) {
+	if got := BackoffJitter(3, 0, time.Second, 0.5); got != 0 {
+		t.Errorf("base=0: got %v, want 0", got)
+	}
+}
+
+// TestJitteredBackoffWithinEnvelope samples the PRNG wrapper and asserts
+// every draw respects the same bounds.
+func TestJitteredBackoffWithinEnvelope(t *testing.T) {
+	base, max := 5*time.Millisecond, 200*time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		d := Backoff(attempt, base, max)
+		for i := 0; i < 100; i++ {
+			got := JitteredBackoff(attempt, base, max)
+			if got < d/2 || got > d {
+				t.Fatalf("JitteredBackoff(attempt=%d) = %v, want in [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/resilience"
+)
+
+// State is a job's lifecycle position. Transitions are strictly forward:
+//
+//	queued -> running -> completed | failed
+//	queued -> requeued (drain or crash) -> queued (after recovery)
+//
+// Admission rejections (rate limit, queue full, shed) never create a job
+// at all — the client gets the verdict synchronously in the HTTP status.
+type State string
+
+// Job states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+)
+
+// JobSpec is the client-facing description of one benchmark/training job
+// — the POST /jobs request body. Field semantics mirror the CLI: a job is
+// one cell of the paper's configuration matrix at a chosen scale and
+// seed, optionally under the deterministic fault-injection harness.
+type JobSpec struct {
+	// Framework executes the run ("tensorflow"/"tf", "caffe", "torch").
+	Framework string `json:"framework"`
+	// Dataset is the dataset trained and tested on ("mnist", "cifar10").
+	Dataset string `json:"dataset"`
+	// SettingsFramework and SettingsDataset name the default-setting
+	// source for transfer cells; empty means the job's own framework and
+	// dataset (a baseline run).
+	SettingsFramework string `json:"settings_framework,omitempty"`
+	SettingsDataset   string `json:"settings_dataset,omitempty"`
+	// Device selects the modeled device ("cpu" or "gpu", default gpu).
+	Device string `json:"device,omitempty"`
+	// Scale is the experiment scale ("test", "small", "full"; default
+	// "test" — a service should default to its cheapest workload).
+	Scale string `json:"scale,omitempty"`
+	// Seed is the master seed (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// MaxRetries bounds in-process divergence/fault recovery inside the
+	// training loop (default 2, the CLI default).
+	MaxRetries *int `json:"max_retries,omitempty"`
+	// Faults arms the deterministic fault-injection harness with the CLI
+	// grammar (e.g. "crash@1", "nan@3;operr@5:site=graph.forward").
+	Faults string `json:"faults,omitempty"`
+	// TimeoutMS bounds the job's execution once started; 0 picks the
+	// server default. The server clamps it to its configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate resolves the spec against the framework/dataset registries and
+// normalizes defaults in place, so a journaled spec replays identically.
+func (js *JobSpec) Validate() error {
+	if js.Framework == "" {
+		return fmt.Errorf("missing framework")
+	}
+	if _, err := framework.ParseID(js.Framework); err != nil {
+		return err
+	}
+	if js.Dataset == "" {
+		return fmt.Errorf("missing dataset")
+	}
+	if _, err := framework.ParseDataset(js.Dataset); err != nil {
+		return err
+	}
+	if js.SettingsFramework != "" {
+		if _, err := framework.ParseID(js.SettingsFramework); err != nil {
+			return err
+		}
+	}
+	if js.SettingsDataset != "" {
+		if _, err := framework.ParseDataset(js.SettingsDataset); err != nil {
+			return err
+		}
+	}
+	switch js.Device {
+	case "", "cpu", "CPU", "gpu", "GPU":
+	default:
+		return fmt.Errorf("unknown device %q (want cpu or gpu)", js.Device)
+	}
+	if js.Scale == "" {
+		js.Scale = "test"
+	}
+	if _, err := core.ScaleByName(js.Scale); err != nil {
+		return err
+	}
+	if js.Seed == 0 {
+		js.Seed = 42
+	}
+	if js.MaxRetries != nil && *js.MaxRetries < 0 {
+		return fmt.Errorf("negative max_retries")
+	}
+	if _, err := resilience.ParsePlan(js.Faults); err != nil {
+		return err
+	}
+	if js.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms")
+	}
+	return nil
+}
+
+// RunSpec converts the validated spec to the suite's cell description.
+func (js *JobSpec) RunSpec() (core.RunSpec, error) {
+	fw, err := framework.ParseID(js.Framework)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	ds, err := framework.ParseDataset(js.Dataset)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	spec := core.RunSpec{Framework: fw, SettingsFW: fw, Data: ds, SettingsDS: ds, Device: device.GPU}
+	if js.SettingsFramework != "" {
+		if spec.SettingsFW, err = framework.ParseID(js.SettingsFramework); err != nil {
+			return core.RunSpec{}, err
+		}
+	}
+	if js.SettingsDataset != "" {
+		if spec.SettingsDS, err = framework.ParseDataset(js.SettingsDataset); err != nil {
+			return core.RunSpec{}, err
+		}
+	}
+	if js.Device == "cpu" || js.Device == "CPU" {
+		spec.Device = device.CPU
+	}
+	return spec, nil
+}
+
+// shardKey groups jobs that can share a warm suite (datasets, trained
+// models): the worker pool routes all jobs of one (scale, seed) to one
+// shard, so cache affinity survives concurrency.
+func (js *JobSpec) shardKey() string {
+	return fmt.Sprintf("%s/%d", js.Scale, js.Seed)
+}
+
+// Job is one accepted job's full record: the spec, its lifecycle, and —
+// once it ran — the result or error. All mutable fields are guarded by
+// mu; View snapshots them for JSON rendering.
+type Job struct {
+	ID     string
+	Spec   JobSpec
+	Client string
+
+	// tracer receives the job's execution spans and typed events; the
+	// /jobs/{id}/events stream renders it incrementally as JSONL.
+	tracer *obs.Tracer
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	attempts  int
+	result    *metrics.RunResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	recovered bool // resurrected from the journal after a restart
+	done      chan struct{}
+}
+
+// newJob constructs a queued job with a live tracer.
+func newJob(id string, spec JobSpec, client string, recovered bool) *Job {
+	tr := obs.New()
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		Client:    client,
+		tracer:    tr,
+		state:     StateQueued,
+		submitted: time.Now(),
+		recovered: recovered,
+		done:      make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// terminal reports whether s is an end state.
+func terminal(s State) bool { return s == StateCompleted || s == StateFailed }
+
+// attempt returns the job-level attempt count so far.
+func (j *Job) attempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// start marks the job running (attempt counting included).
+func (j *Job) start() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.attempts++
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+}
+
+// finish records the terminal outcome and releases Done waiters.
+func (j *Job) finish(res *metrics.RunResult, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateCompleted
+		j.result = res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// requeue returns a running job to the queued state (job-level retry).
+func (j *Job) requeue() {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.mu.Unlock()
+}
+
+// JobView is the JSON rendering of a job served by GET /jobs/{id}.
+type JobView struct {
+	ID     string  `json:"id"`
+	State  State   `json:"state"`
+	Spec   JobSpec `json:"spec"`
+	Client string  `json:"client,omitempty"`
+	// Attempts counts job-level executions (1 + server-side retries);
+	// in-process resilience retries inside the training loop are not
+	// job-level attempts.
+	Attempts int `json:"attempts"`
+	// Recovered marks a job resurrected from the journal by a restart.
+	Recovered bool   `json:"recovered,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// QueueSeconds and RunSeconds split the job's latency into time
+	// spent waiting for a worker and time spent executing.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	// Result is the completed run's row (accuracy, wall/model times,
+	// convergence), absent until completion.
+	Result *metrics.RunResult `json:"result,omitempty"`
+}
+
+// View snapshots the job for rendering.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Spec:      j.Spec,
+		Client:    j.Client,
+		Attempts:  j.attempts,
+		Recovered: j.recovered,
+		Error:     j.err,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		v.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunSeconds = end.Sub(j.started).Seconds()
+	} else {
+		v.QueueSeconds = time.Since(j.submitted).Seconds()
+	}
+	return v
+}
+
+// MarshalJSON renders the view, so a *Job can be encoded directly.
+func (j *Job) MarshalJSON() ([]byte, error) {
+	return json.Marshal(j.View())
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter. Each client (keyed
+// by the X-DLBench-Client header, falling back to the remote host) gets a
+// bucket of burst tokens refilled at rate tokens/second; one submission
+// spends one token. A zero rate disables limiting entirely.
+//
+// The bucket map is bounded: past maxClients distinct keys, the least
+// recently used bucket is evicted — a server exposed to many ephemeral
+// clients must not grow state without bound.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// order is an LRU list of keys (front = oldest); small enough at
+	// maxClients that linear maintenance is fine.
+	order []string
+}
+
+// maxClients bounds the number of tracked client buckets.
+const maxClients = 4096
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter; rate <= 0 disables it.
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token for client, reporting whether the submission is
+// admitted and, when it is not, how long until a token is available (the
+// Retry-After hint).
+func (l *limiter) allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+		l.order = append(l.order, client)
+		if len(l.order) > maxClients {
+			evict := l.order[0]
+			l.order = l.order[1:]
+			delete(l.buckets, evict)
+		}
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+		l.touch(client)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / l.rate * float64(time.Second))
+}
+
+// touch moves client to the back of the LRU order.
+func (l *limiter) touch(client string) {
+	for i, k := range l.order {
+		if k == client {
+			l.order = append(append(l.order[:i:i], l.order[i+1:]...), client)
+			return
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLimiterDisabledWhenRateZero(t *testing.T) {
+	l := newLimiter(0, 1)
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatalf("disabled limiter rejected submission %d", i)
+		}
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := newLimiter(10, 2) // 10 tokens/s, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatalf("burst submission %d rejected", i)
+		}
+	}
+	ok, retry := l.allow("c", now)
+	if ok {
+		t.Fatal("third immediate submission admitted past burst")
+	}
+	if retry <= 0 || retry > 110*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~100ms (one token at 10/s)", retry)
+	}
+	// After 150ms one token has refilled.
+	if ok, _ := l.allow("c", now.Add(150*time.Millisecond)); !ok {
+		t.Fatal("submission after refill window rejected")
+	}
+	// But not two.
+	if ok, _ := l.allow("c", now.Add(150*time.Millisecond)); ok {
+		t.Fatal("second submission admitted from a single refilled token")
+	}
+}
+
+func TestLimiterTokensCappedAtBurst(t *testing.T) {
+	l := newLimiter(10, 2)
+	now := time.Unix(1000, 0)
+	l.allow("c", now) // create bucket, spend one
+	// A long idle period must not bank unlimited tokens.
+	later := now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.allow("c", later); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after long idle, want burst cap 2", admitted)
+	}
+}
+
+func TestLimiterClientsIndependent(t *testing.T) {
+	l := newLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.allow("a", now); !ok {
+		t.Fatal("a's first submission rejected")
+	}
+	if ok, _ := l.allow("a", now); ok {
+		t.Fatal("a's second immediate submission admitted")
+	}
+	if ok, _ := l.allow("b", now); !ok {
+		t.Fatal("b rejected because of a's usage")
+	}
+}
+
+func TestLimiterBoundsTrackedClients(t *testing.T) {
+	l := newLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < maxClients+100; i++ {
+		l.allow(fmt.Sprintf("client-%d", i), now)
+	}
+	l.mu.Lock()
+	n, o := len(l.buckets), len(l.order)
+	l.mu.Unlock()
+	if n > maxClients || o > maxClients {
+		t.Fatalf("limiter tracking %d buckets / %d order entries, cap %d", n, o, maxClients)
+	}
+}

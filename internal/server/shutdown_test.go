@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestDrainCompletesInFlightJob: the graceful half of the drain contract
+// — a job already running when SIGTERM lands finishes and is journaled
+// completed, not cancelled.
+func TestDrainCompletesInFlightJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	started := make(chan struct{})
+	slowRun := func(ctx context.Context, _ int, _ *Job) (*metrics.RunResult, error) {
+		close(started)
+		select {
+		case <-time.After(150 * time.Millisecond):
+			return &metrics.RunResult{AccuracyPct: 77}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, JournalPath: path, Run: slowRun})
+	_, reply := submit(t, ts, `{"framework":"tf","dataset":"mnist"}`, "")
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	pending, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if pending != 0 {
+		t.Fatalf("pending = %d, want 0", pending)
+	}
+	j, _ := s.Job(reply.ID)
+	if st := j.State(); st != StateCompleted {
+		t.Fatalf("in-flight job state after drain = %s, want completed", st)
+	}
+	// And the journal agrees: nothing to recover.
+	recovered, _, _, rerr := replayJournal(path)
+	if rerr != nil || len(recovered) != 0 {
+		t.Fatalf("journal after clean drain: pending=%v err=%v", recovered, rerr)
+	}
+}
+
+// TestDrainLeavesQueuedJobsJournaled: queued-but-never-started jobs are
+// counted at drain and stay in the journal for the next process.
+func TestDrainLeavesQueuedJobsJournaled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	release := make(chan struct{})
+	blockRun := func(ctx context.Context, _ int, _ *Job) (*metrics.RunResult, error) {
+		select {
+		case <-release:
+			return &metrics.RunResult{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, JournalPath: path, Run: blockRun})
+	_, running := submit(t, ts, `{"framework":"tf","dataset":"mnist"}`, "")
+	waitState(t, s, running.ID, StateRunning)
+	var queued []string
+	for i := 0; i < 2; i++ {
+		_, r := submit(t, ts, `{"framework":"tf","dataset":"mnist"}`, "")
+		queued = append(queued, r.ID)
+	}
+
+	s.BeginDrain()
+	close(release) // let the in-flight job finish gracefully
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	pending, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if pending != 2 {
+		t.Fatalf("pending = %d, want 2", pending)
+	}
+	recovered, _, _, rerr := replayJournal(path)
+	if rerr != nil {
+		t.Fatalf("replay: %v", rerr)
+	}
+	ids := map[string]bool{}
+	for _, p := range recovered {
+		ids[p.ID] = true
+	}
+	for _, id := range queued {
+		if !ids[id] {
+			t.Fatalf("queued job %s missing from journal after drain (have %v)", id, ids)
+		}
+	}
+	if ids[running.ID] {
+		t.Fatalf("completed job %s still pending in journal", running.ID)
+	}
+}
+
+// TestDrainingEndsOpenEventStreams: an open /jobs/{id}/events stream for
+// a job that will never run in this process ends (EOF) when the drain
+// begins, so graceful shutdown is not held hostage by spectators.
+func TestDrainingEndsOpenEventStreams(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	blockRun := func(ctx context.Context, _ int, _ *Job) (*metrics.RunResult, error) {
+		select {
+		case <-release:
+			return &metrics.RunResult{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, ts := newTestServer(t, Config{Workers: 1, Run: blockRun})
+	_, running := submit(t, ts, `{"framework":"tf","dataset":"mnist"}`, "")
+	_, queuedReply := submit(t, ts, `{"framework":"tf","dataset":"mnist"}`, "")
+	waitState(t, s, running.ID, StateRunning)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + queuedReply.ID + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+
+	streamDone := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		streamDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the stream settle into its wait
+	s.BeginDrain()
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("stream ended with error: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("event stream still open 3s after BeginDrain")
+	}
+}
+
+// TestListenerCloseUnblocksServe: closing the listener via the HTTP
+// server's Shutdown unblocks the blocking Serve loop promptly — the
+// daemon's select on serveErr cannot deadlock the drain.
+func TestListenerCloseUnblocksServe(t *testing.T) {
+	s, err := New(Config{Run: okRun})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// Prove the listener works, then shut down and require Serve to
+	// return ErrServerClosed quickly.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("http shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve still blocked 2s after listener close")
+	}
+	// And a post-shutdown connect fails: the port is actually released.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownIdempotent: calling Shutdown twice is safe (the serve
+// command calls BeginDrain, then Shutdown; tests add cleanup calls).
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := New(Config{Run: okRun})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		pending, err := s.Shutdown(ctx)
+		cancel()
+		if err != nil || pending != 0 {
+			t.Fatalf("Shutdown #%d: pending=%d err=%v", i+1, pending, err)
+		}
+	}
+	if !s.Draining() {
+		t.Fatal("server not draining after Shutdown")
+	}
+}

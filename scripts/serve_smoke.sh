@@ -1,0 +1,82 @@
+#!/bin/sh
+# serve-smoke: end-to-end exercise of the `dlbench serve` daemon contract.
+#
+#   1. start the daemon on port 0 (kernel-assigned) with a journal,
+#   2. parse the printed address line to learn the binding,
+#   3. drive a small loadgen burst through it and require the accounting
+#      invariant (every submission completed/failed/explicitly rejected),
+#   4. SIGTERM the daemon and require a clean drain within the budget.
+#
+# Exits non-zero on any violated step; `make serve-smoke` runs it and
+# `make check` folds it into the tier-1 gate.
+set -eu
+
+GO="${GO:-go}"
+bin="$(mktemp -d)"
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building dlbench + loadgen"
+$GO build -o "$bin/dlbench" ./cmd/dlbench
+$GO build -o "$bin/loadgen" ./cmd/loadgen
+
+log="$bin/serve.log"
+"$bin/dlbench" serve -addr localhost:0 -workers 2 -journal "$bin/journal.jsonl" 2>"$log" &
+pid=$!
+
+# The daemon prints its resolved address before accepting traffic; that
+# line is the automation contract for port-0 bindings.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+	addr="$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$log" | head -n 1)"
+	[ -n "$addr" ] && break
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "serve-smoke: FAIL: daemon exited before printing its address" >&2
+		cat "$log" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "serve-smoke: FAIL: daemon never printed its address line" >&2
+	cat "$log" >&2
+	exit 1
+fi
+echo "serve-smoke: daemon up on $addr"
+
+# A tiny burst: enough concurrency to queue behind 2 workers, small
+# enough to finish fast. loadgen exits non-zero if any accepted job is
+# lost or the accounting does not balance.
+"$bin/loadgen" -addr "$addr" -clients 4 -jobs 1 -deadline 3m
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$pid"
+i=0
+while [ $i -lt 600 ]; do
+	kill -0 "$pid" 2>/dev/null || break
+	sleep 0.1
+	i=$((i + 1))
+done
+if kill -0 "$pid" 2>/dev/null; then
+	echo "serve-smoke: FAIL: daemon still running 60s after SIGTERM" >&2
+	cat "$log" >&2
+	exit 1
+fi
+wait "$pid" || {
+	echo "serve-smoke: FAIL: daemon exited non-zero" >&2
+	cat "$log" >&2
+	exit 1
+}
+pid=""
+if ! grep -q "dlbench serve: drained" "$log"; then
+	echo "serve-smoke: FAIL: no drain confirmation in daemon log" >&2
+	cat "$log" >&2
+	exit 1
+fi
+echo "serve-smoke: OK"
