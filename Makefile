@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race obs-overhead chaos serve-smoke bench bench-compare bench-log microbench trace-demo clean
+.PHONY: check vet build test race obs-overhead chaos infer-gate serve-smoke bench bench-compare bench-log microbench trace-demo clean
 
-check: vet build test race obs-overhead chaos serve-smoke bench-compare bench-log
+check: vet build test race obs-overhead chaos infer-gate serve-smoke bench-compare bench-log
 
 vet:
 	$(GO) vet ./...
@@ -52,11 +52,26 @@ chaos:
 		-run 'Chaos|Fault|Inject|Panic|Resume|Cancel|Checkpoint|Guard|Diverge|Recover|Backoff|Plan' \
 		./internal/resilience/ ./internal/core/ ./internal/engine/ ./internal/tensor/
 
+# Inference-workload gates, run fresh (-count=1): the quantization
+# property tests (round-trip bound, saturation, int8 GEMM tolerance),
+# the residual parity tests (gradcheck + bit-identical training curves
+# across executor styles), the inference sweep and its int8 acceptance
+# gate (>=1.5x float batch-1 throughput within 1pp accuracy), the BENCH
+# v3 golden-fixture compatibility tests, and the serve-daemon inference
+# job admission/end-to-end tests.
+# -p 1 serializes the packages: the throughput gate times real kernels,
+# and co-scheduled training tests from sibling packages would starve it.
+infer-gate:
+	$(GO) test -count=1 -p 1 -timeout 15m \
+		-run 'Infer|Quant|Int8|Residual|ResNet|GradCheck|Golden|Trajectory|Fixtures' \
+		./internal/tensor/ ./internal/nn/ ./internal/engine/ ./internal/framework/ \
+		./internal/core/ ./internal/profile/ ./internal/server/
+
 # One point of the repo's performance trajectory: run the canonical
 # benchmark matrix (3 frameworks x 2 datasets, profiling mode with the
 # resource monitor on) and write the schema-versioned report at the
 # repo root. Bump BENCH_OUT per PR.
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 bench:
 	$(GO) run ./cmd/dlbench -scale test -quiet -bench-out $(BENCH_OUT) bench
 

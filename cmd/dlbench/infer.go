@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/framework"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+)
+
+// inferCmdConfig parameterizes one `dlbench -mode infer` invocation.
+type inferCmdConfig struct {
+	scale        string
+	seed         uint64
+	dataset      string
+	network      string
+	batches      string
+	requests     int
+	warmup       int
+	outPath      string
+	baselinePath string
+	thresholdPct float64
+}
+
+// parseBatchSizes parses the -infer-batches CSV ("1,8,32").
+func parseBatchSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := strconv.Atoi(part)
+		if err != nil || b < 1 {
+			return nil, fmt.Errorf("bad batch size %q in -infer-batches (want positive integers)", part)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-infer-batches is empty")
+	}
+	return out, nil
+}
+
+// runInferMode executes the inference sweep — every serving column (the
+// three framework styles plus the int8 quantized column) across the
+// requested batch sizes — prints the latency table, and writes the
+// schema-v3 benchmark report (training cells absent, infer section
+// populated) to cfg.outPath. With a baseline the report is compared the
+// same way `dlbench bench` compares training reports, so inference
+// latency regressions gate exactly like throughput regressions.
+func runInferMode(ctx context.Context, w io.Writer, suite *core.Suite, sink *progressSink, cfg inferCmdConfig) error {
+	batches, err := parseBatchSizes(cfg.batches)
+	if err != nil {
+		return err
+	}
+	ds, err := framework.ParseDataset(cfg.dataset)
+	if err != nil {
+		return err
+	}
+	rep, err := suite.InferSweep(ctx, core.InferConfig{
+		Dataset:    ds,
+		Device:     device.GPU,
+		Network:    cfg.network,
+		BatchSizes: batches,
+		Requests:   cfg.requests,
+		Warmup:     cfg.warmup,
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable("Framework", "Network", "Batch", "p50 ms", "p95 ms", "p99 ms", "Samples/s", "Accuracy %")
+	for _, c := range rep.Cells {
+		tbl.AddRow(c.Framework, c.Network, fmt.Sprintf("%d", c.Batch),
+			fmt.Sprintf("%.3f", c.LatencyP50MS), fmt.Sprintf("%.3f", c.LatencyP95MS),
+			fmt.Sprintf("%.3f", c.LatencyP99MS), fmt.Sprintf("%.1f", c.ThroughputSPS),
+			fmt.Sprintf("%.1f", c.AccuracyPct))
+	}
+	fmt.Fprintf(w, "Inference latency on %s (%s network)\n\n%s\n", rep.Dataset, rep.Network, tbl.String())
+
+	report := &profile.BenchReport{
+		SchemaVersion: profile.BenchSchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Scale:         cfg.scale,
+		Seed:          cfg.seed,
+	}
+	for _, c := range rep.Cells {
+		report.Infer = append(report.Infer, profile.BenchInferCell{
+			Framework:     c.Framework,
+			Network:       c.Network,
+			Dataset:       c.Dataset,
+			Batch:         c.Batch,
+			Requests:      c.Requests,
+			LatencyP50MS:  c.LatencyP50MS,
+			LatencyP95MS:  c.LatencyP95MS,
+			LatencyP99MS:  c.LatencyP99MS,
+			ThroughputSPS: c.ThroughputSPS,
+			AccuracyPct:   c.AccuracyPct,
+		})
+	}
+	f, err := os.Create(cfg.outPath)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", cfg.outPath, err)
+	}
+	if err := profile.WriteBenchReport(f, report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sink.printf("wrote inference report (%d cells) to %s", len(report.Infer), cfg.outPath)
+	if cfg.baselinePath == "" {
+		return nil
+	}
+	baseline, err := profile.LoadBenchReport(cfg.baselinePath)
+	if err != nil {
+		return err
+	}
+	return compareReports(w, baseline, report, cfg.thresholdPct)
+}

@@ -16,6 +16,9 @@
 //	dlbench bench log [DIR]
 //	dlbench bench diff BASELINE CURRENT [-bench-threshold PCT]
 //	dlbench compare -baseline OLD -bench-out NEW
+//	dlbench -mode infer [-infer-dataset DS] [-infer-network default|resnet]
+//	        [-infer-batches 1,8,32] [-infer-requests N] [-infer-warmup N]
+//	        [-bench-out FILE] [-baseline FILE] [-bench-threshold PCT]
 //
 // Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
 // fig5 fig6 fig7 fig8 fig9 table6 table7 table8 table9, or "all".
@@ -50,6 +53,17 @@
 // iters/sec, peak-heap and CPU% sparklines; `dlbench bench diff A B`
 // diffs two reports and attributes timing regressions to specific ops
 // via the recorded top-of-profile tables.
+//
+// Inference: `dlbench -mode infer` measures serving latency instead of
+// training throughput. Every serving column — the three framework
+// executor styles plus the int8 quantized column — answers timed
+// Predict requests at each -infer-batches size; the report carries
+// per-request latency p50/p95/p99 and samples/sec per (column, batch)
+// cell, printed as a table and written as the schema-v3 "infer" section
+// of the -bench-out report (so `bench log`, `bench diff` and -baseline
+// comparisons cover inference cells too). -infer-network resnet serves
+// one shared trained residual network from all columns, isolating
+// executor scheduling overhead.
 //
 // Robustness: -timeout bounds the whole invocation and SIGINT cancels
 // it; both produce a well-formed partial report (completed rows, JSON/CSV
@@ -131,24 +145,41 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume training runs from checkpoints in -checkpoint-dir")
 	maxRetries := fs.Int("max-retries", 2, "in-process recovery attempts per training run for divergence and injected faults (0 disables the resilience layer)")
 	faultSpec := fs.String("faults", "", "deterministic fault plan, e.g. \"nan@3;operr@5:site=graph.forward,cell=TF\" (kinds: nan inf operr slow corrupt crash)")
+	modeFlag := fs.String("mode", "train", "workload mode: train (experiments) or infer (inference latency sweep)")
+	inferDataset := fs.String("infer-dataset", "mnist", "infer mode: dataset to serve (mnist or cifar10)")
+	inferNetwork := fs.String("infer-network", "default", "infer mode: served model plan (default: each framework's paper net; resnet: one shared residual net)")
+	inferBatches := fs.String("infer-batches", "1,8,32", "infer mode: comma-separated request batch sizes")
+	inferRequests := fs.Int("infer-requests", 40, "infer mode: timed requests per (framework, batch) point")
+	inferWarmup := fs.Int("infer-warmup", 5, "infer mode: untimed warmup requests per point")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	targets := fs.Args()
-	if len(targets) == 0 {
+	inferMode := false
+	switch *modeFlag {
+	case "", "train":
+	case "infer":
+		inferMode = true
+	default:
+		return fmt.Errorf("unknown -mode %q (want train or infer)", *modeFlag)
+	}
+	if inferMode && len(targets) > 0 {
+		return fmt.Errorf("-mode infer takes no experiment targets (got %q)", strings.Join(targets, " "))
+	}
+	if len(targets) == 0 && !inferMode {
 		return fmt.Errorf("no experiments given; try: dlbench fig1, or dlbench all\nknown: %s", strings.Join(knownExperiments(), " "))
 	}
 	// The serve daemon dispatches before any suite construction: it
 	// builds suites per job, owns its own flags (everything after
 	// "serve"), and drains on SIGINT/SIGTERM.
-	if targets[0] == "serve" {
+	if len(targets) > 0 && targets[0] == "serve" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		return runServe(ctx, targets[1:], &progressSink{w: os.Stderr, quiet: *quiet})
 	}
 	// Query subcommands over existing reports: neither runs anything, so
 	// they dispatch before any suite construction.
-	if targets[0] == "bench" && len(targets) > 1 {
+	if len(targets) > 1 && targets[0] == "bench" {
 		switch targets[1] {
 		case "log":
 			dir := "."
@@ -216,10 +247,11 @@ func run(args []string) error {
 		return runCompare(os.Stdout, *baselinePath, *benchOut, *benchThreshold)
 	}
 
-	profiling := *profilePath != "" || *profileFoldPath != "" || benchMode
-	// Bench mode always monitors: the schema-v2 report carries per-cell
-	// utilization summaries, so `dlbench bench` needs no extra flags.
-	monitoring := *monitorFlag || benchMode
+	profiling := *profilePath != "" || *profileFoldPath != "" || benchMode || inferMode
+	// Bench and infer modes always monitor: the schema-v2 report carries
+	// per-cell utilization summaries and a serving measurement should see
+	// its own resource profile, so neither needs extra flags.
+	monitoring := *monitorFlag || benchMode || inferMode
 
 	// The tracer exists only when some consumer asked for it; otherwise
 	// every instrumented path stays on the documented no-op branch. The
@@ -286,6 +318,22 @@ func run(args []string) error {
 		benchErr = runBench(ctx, os.Stdout, suite, tracer, sampler, sink, benchConfig{
 			scale:        *scaleName,
 			seed:         *seed,
+			outPath:      *benchOut,
+			baselinePath: *baselinePath,
+			thresholdPct: *benchThreshold,
+		})
+		if ctx.Err() != nil {
+			interrupted = true
+		}
+	} else if inferMode {
+		benchErr = runInferMode(ctx, os.Stdout, suite, sink, inferCmdConfig{
+			scale:        *scaleName,
+			seed:         *seed,
+			dataset:      *inferDataset,
+			network:      *inferNetwork,
+			batches:      *inferBatches,
+			requests:     *inferRequests,
+			warmup:       *inferWarmup,
 			outPath:      *benchOut,
 			baselinePath: *baselinePath,
 			thresholdPct: *benchThreshold,

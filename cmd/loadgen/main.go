@@ -93,13 +93,18 @@ func latencyLine(name string, lats []time.Duration) string {
 }
 
 // client runs one synthetic client: submit jobs jobs, poll each accepted
-// one to a terminal state, and record every outcome.
-func client(base string, name string, jobs int, body, crashBody string, crashEvery int, poll, deadline time.Duration, t *tally) {
+// one to a terminal state, and record every outcome. When both variants
+// land on the same job index, the inference variant wins (an inference
+// job cannot carry a fault plan).
+func client(base string, name string, jobs int, body, crashBody, inferBody string, crashEvery, inferEvery int, poll, deadline time.Duration, t *tally) {
 	hc := &http.Client{Timeout: 30 * time.Second}
 	for n := 1; n <= jobs; n++ {
 		spec := body
 		if crashEvery > 0 && n%crashEvery == 0 {
 			spec = crashBody
+		}
+		if inferEvery > 0 && n%inferEvery == 0 {
+			spec = inferBody
 		}
 		start := time.Now()
 		req, err := http.NewRequest("POST", base+"/jobs", strings.NewReader(spec))
@@ -189,12 +194,14 @@ func run() int {
 	jobs := flag.Int("jobs", 4, "jobs per client")
 	body := flag.String("body", `{"framework":"tf","dataset":"mnist","scale":"test"}`, "job spec JSON")
 	crashEvery := flag.Int("crash-every", 0, "inject a crash fault into every Nth job per client (0 disables)")
+	inferEvery := flag.Int("infer-every", 0, "submit every Nth job per client as a batch-1 inference job (0 disables)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "job status poll interval")
 	deadline := flag.Duration("deadline", 5*time.Minute, "per-job wait deadline before declaring it lost")
 	flag.Parse()
 
 	base := "http://" + *addr
 	crashBody := crashSpec(*body)
+	inferBody := inferSpec(*body)
 	t := newTally()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -202,7 +209,7 @@ func run() int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			client(base, fmt.Sprintf("loadgen-%d", i), *jobs, *body, crashBody, *crashEvery, *poll, *deadline, t)
+			client(base, fmt.Sprintf("loadgen-%d", i), *jobs, *body, crashBody, inferBody, *crashEvery, *inferEvery, *poll, *deadline, t)
 		}(i)
 	}
 	wg.Wait()
@@ -255,6 +262,25 @@ func crashSpec(body string) string {
 		return body
 	}
 	spec["faults"] = "crash@1"
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return body
+	}
+	return string(b)
+}
+
+// inferSpec derives the batch-1 inference variant of the job body: mode
+// switches to infer and the training-only faults field is dropped (the
+// server rejects inference jobs that carry a fault plan).
+func inferSpec(body string) string {
+	var spec map[string]any
+	if err := json.Unmarshal([]byte(body), &spec); err != nil {
+		return body
+	}
+	spec["mode"] = "infer"
+	spec["batch"] = 1
+	spec["requests"] = 10
+	delete(spec, "faults")
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return body

@@ -72,6 +72,7 @@ type Suite struct {
 	mu       sync.Mutex
 	datasets map[framework.DatasetID][2]*data.Dataset // train, test
 	models   map[modelKey]*trainedModel
+	resnets  map[framework.DatasetID]*nn.Network // shared infer-sweep ResNet cells
 
 	// Progress, when non-nil, receives one line per completed training
 	// run (for CLI feedback during long sweeps).
@@ -145,6 +146,7 @@ func NewSuite(scale Scale, seed uint64) (*Suite, error) {
 		seed:     seed,
 		datasets: make(map[framework.DatasetID][2]*data.Dataset),
 		models:   make(map[modelKey]*trainedModel),
+		resnets:  make(map[framework.DatasetID]*nn.Network),
 	}, nil
 }
 
@@ -160,6 +162,7 @@ func (s *Suite) Scale() Scale { return s.scale }
 func (s *Suite) ReleaseModels() {
 	s.mu.Lock()
 	s.models = make(map[modelKey]*trainedModel)
+	s.resnets = make(map[framework.DatasetID]*nn.Network)
 	s.mu.Unlock()
 }
 

@@ -13,10 +13,15 @@ import (
 type opNode struct {
 	id    int
 	layer nn.Layer
+	// resid marks a skip-connection add node: the node has two deps
+	// (skip source, branch end) and dispatches Residual.AddForward
+	// instead of a layer kernel. layer is nil on add nodes.
+	resid *nn.Residual
 	// spanName is the profiling-mode per-op span name, built once at
 	// graph construction so the dispatch loop allocates nothing.
 	spanName string
-	// deps are node ids this node consumes from; succ the consumers.
+	// deps are node ids this node consumes from (-1 is the graph input);
+	// succ the consumers.
 	deps []int
 	succ []int
 	// fusedInto, when >= 0, marks this node as fused into another node's
@@ -34,11 +39,28 @@ type opNode struct {
 // GraphExecutor is the TensorFlow-style executor: it compiles the network
 // into an operation graph, topologically schedules it and runs an
 // optimization (fusion) pass at construction time.
+//
+// The graph is a genuine dataflow graph, not a path: residual blocks are
+// expanded into their branch layers plus a two-input add node, so the
+// scheduler routes real multi-successor values (the skip source feeds
+// both the branch head and the add) and the backward pass accumulates
+// gradients per node. Because the expanded schedule runs the same layer
+// objects through the same kernels — and the skip add is a two-operand
+// float addition, which is bit-commutative — numerics stay bit-identical
+// to the layerwise and module executors, which treat a Residual as one
+// opaque layer.
 type GraphExecutor struct {
 	net      *nn.Network
 	nodes    []*opNode
 	schedule []int // topological order of node ids
+	outID    int   // node producing the network output
 	fused    int
+
+	// Per-run dataflow state, indexed by node id + 1 (slot 0 is the graph
+	// input). Reused across iterations; grads slots are reset per batch.
+	outs    []*tensor.Tensor
+	grads   []*tensor.Tensor
+	accBufs []*tensor.Tensor // per-slot accumulators for multi-successor fan-in
 
 	tr        *obs.Tracer
 	dispTrain *obs.Counter
@@ -60,19 +82,14 @@ func NewGraph(net *nn.Network, tr *obs.Tracer) (*GraphExecutor, error) {
 		dispTrain: tr.Counter(CounterTrainDispatch("graph")),
 		dispInfer: tr.Counter(CounterInferDispatch("graph")),
 	}
-	// Build the dataflow graph. The layer chain is a path graph, but the
-	// schedule is still computed with a general Kahn topological sort so
-	// the machinery matches a real graph runtime.
+	// Build the dataflow graph: chain layers, expanding residual blocks
+	// into branch nodes plus an add node. The schedule is computed with a
+	// general Kahn topological sort — with residuals in the net it is no
+	// longer a trivial path order.
 	build := tr.Span("graph.build", CatEngine)
-	layers := net.Layers()
-	g.nodes = make([]*opNode, len(layers))
-	for i, l := range layers {
-		n := &opNode{id: i, layer: l, spanName: OpSpanName("graph", l.Name()), fusedInto: -1}
-		if i > 0 {
-			n.deps = append(n.deps, i-1)
-			g.nodes[i-1].succ = append(g.nodes[i-1].succ, i)
-		}
-		g.nodes[i] = n
+	g.outID = -1
+	for _, l := range net.Layers() {
+		g.outID = g.expand(l, g.outID)
 	}
 	schedule, err := topoSort(g.nodes)
 	if err != nil {
@@ -80,6 +97,9 @@ func NewGraph(net *nn.Network, tr *obs.Tracer) (*GraphExecutor, error) {
 		return nil, fmt.Errorf("engine: graph build: %w", err)
 	}
 	g.schedule = schedule
+	g.outs = make([]*tensor.Tensor, len(g.nodes)+1)
+	g.grads = make([]*tensor.Tensor, len(g.nodes)+1)
+	g.accBufs = make([]*tensor.Tensor, len(g.nodes)+1)
 	build.End()
 	fuse := tr.Span("graph.fuse", CatEngine)
 	g.fuse()
@@ -87,12 +107,54 @@ func NewGraph(net *nn.Network, tr *obs.Tracer) (*GraphExecutor, error) {
 	return g, nil
 }
 
+// expand appends the node(s) for one layer, wiring deps from prev (the
+// node currently producing the running value; -1 is the graph input),
+// and returns the id of the node now producing it. Residual blocks
+// expand recursively: each branch layer becomes its own node, and a
+// two-input add node joins the skip and branch values.
+func (g *GraphExecutor) expand(l nn.Layer, prev int) int {
+	link := func(n *opNode, dep int) {
+		n.deps = append(n.deps, dep)
+		if dep >= 0 {
+			g.nodes[dep].succ = append(g.nodes[dep].succ, n.id)
+		}
+	}
+	if r, ok := l.(*nn.Residual); ok {
+		skip := prev
+		cur := prev
+		for _, bl := range r.Branch() {
+			cur = g.expand(bl, cur)
+		}
+		a := &opNode{
+			id:        len(g.nodes),
+			resid:     r,
+			spanName:  OpSpanName("graph", r.Name()+".add"),
+			fusedInto: -1,
+		}
+		g.nodes = append(g.nodes, a)
+		link(a, skip)
+		link(a, cur)
+		return a.id
+	}
+	n := &opNode{
+		id:        len(g.nodes),
+		layer:     l,
+		spanName:  OpSpanName("graph", l.Name()),
+		fusedInto: -1,
+	}
+	g.nodes = append(g.nodes, n)
+	link(n, prev)
+	return n.id
+}
+
 // topoSort is Kahn's algorithm over the op nodes.
 func topoSort(nodes []*opNode) ([]int, error) {
 	indeg := make([]int, len(nodes))
 	for _, n := range nodes {
-		for range n.deps {
-			indeg[n.id]++
+		for _, d := range n.deps {
+			if d >= 0 {
+				indeg[n.id]++
+			}
 		}
 	}
 	var queue []int
@@ -126,10 +188,13 @@ func topoSort(nodes []*opNode) ([]int, error) {
 // the activation node is skipped in the forward schedule, adopting the
 // fused output so its backward op is unchanged. Other kinds keep the
 // dispatch-accounting fusion only (their kernels still run standalone).
+// The pass applies inside expanded residual branches too; a multi-
+// successor producer (a skip source) is never fused, because its raw
+// output is also consumed by the add node.
 func (g *GraphExecutor) fuse() {
 	for _, n := range g.nodes {
 		act, ok := n.layer.(*nn.Activation)
-		if !ok || act == nil || len(n.deps) != 1 {
+		if !ok || act == nil || len(n.deps) != 1 || n.deps[0] < 0 {
 			continue
 		}
 		p := g.nodes[n.deps[0]]
@@ -165,6 +230,47 @@ func (g *GraphExecutor) Network() *nn.Network { return g.net }
 // SetOpHook implements Executor.
 func (g *GraphExecutor) SetOpHook(h OpHook) { g.hook = h }
 
+// contribute adds t to the gradient accumulator of slot dst+1. The first
+// contribution is recorded as a pointer (no copy — in a path segment the
+// gradient threads straight through, exactly like the pre-dataflow
+// executor). Later fan-in contributions sum into an executor-owned
+// buffer: contribution tensors belong to layers and may still be read by
+// other pending backward dispatches, so they are never mutated in place.
+// Two-operand float addition is bit-commutative, so the arrival order at
+// a skip source (add node's pass-through vs the branch head's input
+// gradient) cannot perturb numerics relative to the monolithic
+// Residual.Backward.
+func (g *GraphExecutor) contribute(dst int, t *tensor.Tensor) {
+	slot := dst + 1
+	prev := g.grads[slot]
+	if prev == nil {
+		g.grads[slot] = t
+		return
+	}
+	acc := g.accBufs[slot]
+	if prev == acc {
+		// Third and later contributions: the slot already holds our own
+		// accumulator; sum in place.
+		ad, td := acc.Data(), t.Data()
+		for i := range ad {
+			ad[i] += td[i]
+		}
+		return
+	}
+	if acc == nil || !acc.SameShape(t) {
+		if acc != nil {
+			tensor.Put(acc)
+		}
+		acc = tensor.GetUninit(t.Shape()...)
+		g.accBufs[slot] = acc
+	}
+	ad, pd, td := acc.Data(), prev.Data(), t.Data()
+	for i := range ad {
+		ad[i] = pd[i] + td[i]
+	}
+	g.grads[slot] = acc
+}
+
 // TrainBatch implements Executor.
 func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels []int) (res nn.LossResult, err error) {
 	defer recoverPanic("graph", &err)
@@ -181,14 +287,18 @@ func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels
 	if err != nil {
 		return nn.LossResult{}, err
 	}
-	// Backward walks the schedule in reverse; fusion applies to the
-	// forward kernels only, so every node dispatches its own gradient op.
+	// Backward walks the schedule in reverse, accumulating per-node
+	// gradients; fusion applies to the forward kernels only, so every
+	// node dispatches its own gradient op.
 	if err := ctxErr(ctx); err != nil {
 		return nn.LossResult{}, err
 	}
 	bwd := g.tr.Span("graph.backward", CatEngine)
 	profiling := g.tr.ProfilingEnabled()
-	grad := res.Grad
+	for i := range g.grads {
+		g.grads[i] = nil
+	}
+	g.grads[g.outID+1] = res.Grad
 	for i := len(g.schedule) - 1; i >= 0; i-- {
 		if g.hook != nil {
 			if err := g.hook("graph.backward"); err != nil {
@@ -197,34 +307,52 @@ func (g *GraphExecutor) TrainBatch(ctx context.Context, x *tensor.Tensor, labels
 			}
 		}
 		n := g.nodes[g.schedule[i]]
+		grad := g.grads[n.id+1]
+		if grad == nil {
+			bwd.End()
+			return nn.LossResult{}, fmt.Errorf("engine: graph backward: node %d has no gradient", n.id)
+		}
+		if n.resid != nil {
+			// The add's gradient passes through unchanged to both inputs;
+			// the sum at the skip source happens where the contributions
+			// meet (contribute), matching Residual.SkipAdd.
+			g.contribute(n.deps[0], grad)
+			g.contribute(n.deps[1], grad)
+			continue
+		}
+		var gin *tensor.Tensor
 		if profiling {
 			sp := g.tr.Span(n.spanName, CatOp)
-			grad, err = n.layer.Backward(grad)
+			gin, err = n.layer.Backward(grad)
 			sp.End()
 		} else {
-			grad, err = n.layer.Backward(grad)
+			gin, err = n.layer.Backward(grad)
 		}
 		if err != nil {
 			bwd.End()
 			return nn.LossResult{}, fmt.Errorf("engine: graph backward: %w", err)
 		}
+		g.contribute(n.deps[0], gin)
 	}
 	bwd.End()
 	g.dispTrain.Add(int64(len(g.nodes)))
 	return res, nil
 }
 
-// run executes the forward schedule, counting one dispatch per live
-// (unfused) node plus the session-run dispatch against the phase counter.
+// run executes the forward schedule over the dataflow slots, counting
+// one dispatch per live (unfused) node plus the session-run dispatch
+// against the phase counter.
 func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	cur := x
+	outs := g.outs
+	outs[0] = x
 	dispatched := int64(1) // session-run dispatch
 	profiling := g.tr.ProfilingEnabled()
 	for _, id := range g.schedule {
 		n := g.nodes[id]
 		if n.skipExec {
 			// The node's kernel already ran inside its producer's GEMM
-			// epilogue; nothing to dispatch.
+			// epilogue; its value is the producer's output.
+			outs[id+1] = outs[n.deps[0]+1]
 			continue
 		}
 		if n.fusedInto < 0 {
@@ -239,25 +367,41 @@ func (g *GraphExecutor) run(x *tensor.Tensor, train bool) (*tensor.Tensor, error
 		var err error
 		if profiling {
 			sp := g.tr.Span(n.spanName, CatOp)
-			next, err = n.layer.Forward(cur, train)
+			next, err = g.dispatch(n, outs, train)
 			sp.End()
 		} else {
-			next, err = n.layer.Forward(cur, train)
+			next, err = g.dispatch(n, outs, train)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, n.layer.Name(), err)
+			return nil, fmt.Errorf("engine: graph forward node %d (%s): %w", id, g.nodeName(n), err)
 		}
 		if n.adopt != nil {
 			n.adopt.AdoptFused(next)
 		}
-		cur = next
+		outs[id+1] = next
 	}
 	if train {
 		g.dispTrain.Add(dispatched)
 	} else {
 		g.dispInfer.Add(dispatched)
 	}
-	return cur, nil
+	return outs[g.outID+1], nil
+}
+
+// dispatch runs one node's forward kernel against the dataflow slots.
+func (g *GraphExecutor) dispatch(n *opNode, outs []*tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if n.resid != nil {
+		return n.resid.AddForward(outs[n.deps[0]+1], outs[n.deps[1]+1])
+	}
+	return n.layer.Forward(outs[n.deps[0]+1], train)
+}
+
+// nodeName names a node for error messages.
+func (g *GraphExecutor) nodeName(n *opNode) string {
+	if n.resid != nil {
+		return n.resid.Name() + ".add"
+	}
+	return n.layer.Name()
 }
 
 // Logits implements Executor.

@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// buildResNet constructs a small residual network with deterministic
+// weights: conv stem, one two-conv skip block, pool, classifier. The
+// residual makes the graph executor's schedule a genuine DAG — the stem
+// activation feeds both the branch head and the skip add.
+func buildResNet(t *testing.T, seed uint64) *nn.Network {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	net := nn.NewNetwork("res-testnet", []int{1, 8, 8})
+	stem, err := nn.NewConv2D(nn.Conv2DConfig{Name: "stem", InC: 1, InH: 8, InW: 8, OutC: 4, Kernel: 3, Stride: 1, Pad: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stemRelu, err := nn.NewActivation("stem.relu", nn.ReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc1, err := nn.NewConv2D(nn.Conv2DConfig{Name: "res1.conv1", InC: 4, InH: 8, InW: 8, OutC: 4, Kernel: 3, Stride: 1, Pad: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brelu, err := nn.NewActivation("res1.relu", nn.ReLU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc2, err := nn.NewConv2D(nn.Conv2DConfig{Name: "res1.conv2", InC: 4, InH: 8, InW: 8, OutC: 4, Kernel: 3, Stride: 1, Pad: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nn.NewResidual("res1", []int{4, 8, 8}, bc1, brelu, bc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := nn.NewPool2D(nn.Pool2DConfig{Name: "pool", Kind: nn.MaxPool, InC: 4, InH: 8, InW: 8, Window: 2, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := nn.NewDense("fc", 4*4*4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Add(stem, stemRelu, res, pool, nn.NewFlatten("flat"), fc); err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func resExecutors(t *testing.T, seed uint64) map[string]Executor {
+	t.Helper()
+	g, err := NewGraph(buildResNet(t, seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := NewLayerwise(buildResNet(t, seed), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModule(buildResNet(t, seed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Executor{"graph": g, "layerwise": lw, "module": m}
+}
+
+// TestResidualExecutorsBitIdenticalCurves: a short SGD run over the
+// residual cell must produce bit-identical loss curves across all three
+// executor styles. The graph executor expands the block into branch
+// nodes plus an add node while layerwise/module run it monolithically;
+// both routes share the Residual's buffers and kernels, and the skip
+// add's two-operand float sums are commutative, so even the gradient
+// fan-in at the skip source cannot perturb a single bit.
+func TestResidualExecutorsBitIdenticalCurves(t *testing.T) {
+	execs := resExecutors(t, 31)
+	rng := tensor.NewRNG(12)
+	x := tensor.New(4, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{0, 2, 1, 1}
+
+	const steps = 5
+	const lr = 0.05
+	curves := map[string][]float64{}
+	for name, e := range execs {
+		for s := 0; s < steps; s++ {
+			e.Network().ZeroGrads()
+			res, err := e.TrainBatch(context.Background(), x, labels)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", name, s, err)
+			}
+			curves[name] = append(curves[name], res.Loss)
+			for _, p := range e.Network().Params() {
+				v, g := p.Value.Data(), p.Grad.Data()
+				for i := range v {
+					v[i] -= lr * g[i]
+				}
+			}
+		}
+	}
+	for name, curve := range curves {
+		for s := range curve {
+			if curve[s] != curves["graph"][s] {
+				t.Fatalf("%s loss[%d] = %.17g, graph = %.17g (curves must be bit-identical)",
+					name, s, curve[s], curves["graph"][s])
+			}
+		}
+	}
+	// The curve must actually descend — otherwise "identical" is vacuous.
+	g := curves["graph"]
+	if !(g[steps-1] < g[0]) {
+		t.Fatalf("loss did not descend: %v", g)
+	}
+}
+
+// TestResidualParamGradsBitIdentical compares every parameter gradient
+// elementwise across executors after one batch.
+func TestResidualParamGradsBitIdentical(t *testing.T) {
+	execs := resExecutors(t, 77)
+	rng := tensor.NewRNG(5)
+	x := tensor.New(3, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{2, 0, 1}
+
+	grads := map[string][][]float64{}
+	for name, e := range execs {
+		if _, err := e.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range e.Network().Params() {
+			grads[name] = append(grads[name], append([]float64(nil), p.Grad.Data()...))
+		}
+	}
+	for name, gs := range grads {
+		for pi := range gs {
+			for i := range gs[pi] {
+				if gs[pi][i] != grads["graph"][pi][i] {
+					t.Fatalf("%s param %d grad[%d] = %v, graph = %v", name, pi, i, gs[pi][i], grads["graph"][pi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestGraphResidualExpansion: the compiled graph must expand the block
+// into real dataflow nodes — branch layers plus an add node — and fusion
+// must apply inside the branch.
+func TestGraphResidualExpansion(t *testing.T) {
+	g, err := NewGraph(buildResNet(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	// stem, stem.relu, res1.conv1, res1.relu, res1.conv2, res1.add, pool,
+	// flat, fc = 9 nodes (6 top-level layers expand to 9).
+	if st.GraphNodes != 9 {
+		t.Fatalf("GraphNodes = %d, want 9 (residual expanded)", st.GraphNodes)
+	}
+	// stem+stem.relu and res1.conv1+res1.relu fuse; res1.conv2 feeds the
+	// add node, so it cannot fuse.
+	if st.FusedPairs != 2 {
+		t.Fatalf("FusedPairs = %d, want 2", st.FusedPairs)
+	}
+	if st.InferDispatches != 9-2+1 {
+		t.Fatalf("InferDispatches = %d, want %d", st.InferDispatches, 9-2+1)
+	}
+	// The monolithic styles see the residual as one opaque layer.
+	m, err := NewModule(buildResNet(t, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi, gi := m.Stats().InferDispatches, st.InferDispatches; mi <= gi {
+		t.Fatalf("module (%d) must out-dispatch fused graph (%d)", mi, gi)
+	}
+}
+
+// TestResidualStatsMatchTracedDispatches: the dispatch accounting must
+// stay exact on a non-path graph — the cost model and the live counter
+// agree on the expanded node set.
+func TestResidualStatsMatchTracedDispatches(t *testing.T) {
+	tr := obs.New()
+	g, err := NewGraph(buildResNet(t, 9), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	x := tensor.New(2, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+	if _, err := g.TrainBatch(context.Background(), x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Counter(CounterTrainDispatch("graph")).Value(), int64(g.Stats().TrainDispatches); got != want {
+		t.Fatalf("traced train dispatches = %d, Stats says %d", got, want)
+	}
+	if _, err := g.Logits(context.Background(), x); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Counter(CounterInferDispatch("graph")).Value(), int64(g.Stats().InferDispatches); got != want {
+		t.Fatalf("traced infer dispatches = %d, Stats says %d", got, want)
+	}
+}
+
+// TestQuantExecutorInferenceOnly: the int8 column serves Logits/Predict
+// and refuses training.
+func TestQuantExecutorInferenceOnly(t *testing.T) {
+	net := buildResNet(t, 21)
+	tr := obs.New()
+	q, err := NewQuant(net, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(6)
+	x := tensor.New(4, 1, 8, 8)
+	rng.FillNormal(x, 0, 1)
+
+	if _, err := q.TrainBatch(context.Background(), x, []int{0, 1, 2, 0}); !errors.Is(err, ErrInferenceOnly) {
+		t.Fatalf("TrainBatch error = %v, want ErrInferenceOnly", err)
+	}
+	logits, err := q.Logits(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Int8 logits track the float executor within quantization error: the
+	// two round-offs per GEMM stay far below 1.0 at this scale.
+	ref, err := NewGraph(buildResNet(t, 21), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := ref.Logits(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fl.Data() {
+		if d := math.Abs(logits.Data()[i] - fl.Data()[i]); d > 0.5 {
+			t.Fatalf("int8 logit %d off by %v (int8 %v vs float %v)", i, d, logits.Data()[i], fl.Data()[i])
+		}
+	}
+	preds, err := q.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 4 {
+		t.Fatalf("%d predictions", len(preds))
+	}
+	// Dispatch accounting cross-check, same discipline as the float
+	// executors. Logits ran twice (once inside Predict).
+	if got, want := tr.Counter(CounterInferDispatch("int8")).Value(), 2*int64(q.Stats().InferDispatches); got != want {
+		t.Fatalf("traced int8 dispatches = %d, want %d", got, want)
+	}
+	if tr.Histogram("int8.freeze").Count() != 1 {
+		t.Fatal("int8.freeze span not emitted")
+	}
+}

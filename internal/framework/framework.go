@@ -26,10 +26,21 @@ const (
 	TensorFlow ID = iota + 1
 	Caffe
 	Torch
+	// Int8 is the quantized-inference column: it is not one of the
+	// paper's frameworks and is deliberately absent from All. It reuses
+	// the TensorFlow-style trained network, frozen through the int8
+	// quantization path, and only supports inference.
+	Int8
 )
 
-// All lists the frameworks in the paper's presentation order.
+// All lists the frameworks in the paper's presentation order. The Int8
+// inference column is excluded: it cannot train, so it only joins
+// inference sweeps explicitly.
 var All = []ID{TensorFlow, Caffe, Torch}
+
+// InferColumns lists the columns of an inference sweep: the three
+// trained framework styles plus the quantized int8 column.
+var InferColumns = []ID{TensorFlow, Caffe, Torch, Int8}
 
 // String implements fmt.Stringer.
 func (id ID) String() string {
@@ -40,6 +51,8 @@ func (id ID) String() string {
 		return "Caffe"
 	case Torch:
 		return "Torch"
+	case Int8:
+		return "Int8"
 	default:
 		return fmt.Sprintf("ID(%d)", int(id))
 	}
@@ -63,6 +76,8 @@ func ParseID(s string) (ID, error) {
 		return Caffe, nil
 	case "torch":
 		return Torch, nil
+	case "int8":
+		return Int8, nil
 	default:
 		return 0, fmt.Errorf("%w: framework %q", ErrUnknown, s)
 	}
@@ -163,6 +178,8 @@ func (id ID) Regularizer() string {
 		return "weight decay"
 	case Torch:
 		return "none"
+	case Int8:
+		return "none (frozen weights)"
 	default:
 		return "unknown"
 	}
@@ -188,6 +205,8 @@ func NewTracedExecutor(id ID, net *nn.Network, batchHint int, tr *obs.Tracer) (e
 		return engine.NewLayerwise(net, batchHint, tr)
 	case Torch:
 		return engine.NewModule(net, tr)
+	case Int8:
+		return engine.NewQuant(net, tr)
 	default:
 		return nil, fmt.Errorf("%w: framework %d", ErrUnknown, int(id))
 	}

@@ -167,6 +167,44 @@ func (b *netBuilder) dropout(p float64, rng *tensor.RNG) {
 	b.add(l)
 }
 
+// residual appends a skip-connection block whose branch is conv → act →
+// conv over the current shape (same-channel, 3×3, pad 1, so the skip
+// needs no projection).
+func (b *netBuilder) residual(act nn.ActKind) {
+	if b.err != nil {
+		return
+	}
+	b.n++
+	name := fmt.Sprintf("res%d", b.n)
+	mk := func(suffix string) *nn.Conv2D {
+		l, err := nn.NewConv2D(nn.Conv2DConfig{
+			Name: name + suffix,
+			InC:  b.c, InH: b.h, InW: b.w,
+			OutC: b.c, Kernel: 3, Stride: 1, Pad: 1,
+		})
+		if err != nil {
+			b.fail(err)
+		}
+		return l
+	}
+	c1 := mk(".conv1")
+	c2 := mk(".conv2")
+	if b.err != nil {
+		return
+	}
+	a, err := nn.NewActivation(fmt.Sprintf("%s.%s", name, act), act)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	r, err := nn.NewResidual(name, []int{b.c, b.h, b.w}, c1, a, c2)
+	if err != nil {
+		b.fail(err)
+		return
+	}
+	b.add(r)
+}
+
 func (b *netBuilder) build() (*nn.Network, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -330,6 +368,35 @@ func BuildNetwork(id ID, arch DatasetID, in InputShape, opts NetworkOptions) (*n
 	net, err := b.build()
 	if err != nil {
 		return nil, fmt.Errorf("framework: build %s: %w", name, err)
+	}
+	return net, nil
+}
+
+// BuildResNet constructs the small ResNet-style network used by the
+// inference workload: a convolutional stem, two identity skip blocks and
+// a classifier. Unlike the paper's Tables IV/V architectures the plan is
+// framework-independent — every executor style runs the same cell, so
+// the residual dataflow (a value consumed by both a branch and a skip
+// add) stresses the graph executor's scheduling while layerwise and
+// module execute the block as one opaque layer.
+func BuildResNet(in InputShape, opts NetworkOptions) (*nn.Network, error) {
+	if opts.RNG == nil {
+		opts.RNG = tensor.NewRNG(0x9e3779b9)
+	}
+	b := newNetBuilder("resnet-net", in)
+	b.conv(16, 3, 1, 1, nil)
+	b.act(nn.ReLU)
+	b.pool(nn.MaxPool, 2, 2, 0)
+	b.residual(nn.ReLU)
+	b.residual(nn.ReLU)
+	b.pool(nn.MaxPool, 2, 2, 0)
+	b.flatten()
+	b.dense(64)
+	b.act(nn.ReLU)
+	b.dense(in.Classes)
+	net, err := b.build()
+	if err != nil {
+		return nil, fmt.Errorf("framework: build resnet: %w", err)
 	}
 	return net, nil
 }

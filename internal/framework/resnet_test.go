@@ -1,0 +1,91 @@
+package framework
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestResNetRunsUnderAllStyles: the shared ResNet cell must train under
+// every framework executor style and serve inference under the int8
+// column built from a trained network.
+func TestResNetRunsUnderAllStyles(t *testing.T) {
+	in := InputShape{C: 1, H: 12, W: 12, Classes: 4}
+	rng := tensor.NewRNG(3)
+	x := tensor.New(2, 1, 12, 12)
+	rng.FillNormal(x, 0, 1)
+	labels := []int{1, 3}
+
+	for _, id := range All {
+		net, err := BuildResNet(in, NetworkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, tensor.NewRNG(7)); err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewExecutor(id, net, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		if _, err := e.TrainBatch(context.Background(), x, labels); err != nil {
+			t.Fatalf("%v train: %v", id, err)
+		}
+		if _, err := e.Predict(context.Background(), x); err != nil {
+			t.Fatalf("%v predict: %v", id, err)
+		}
+	}
+
+	// Int8 column: freezes the trained net, serves inference, refuses
+	// training.
+	net, err := BuildResNet(in, NetworkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.InitNetwork(net, nn.InitConfig{Scheme: nn.InitXavier}, tensor.NewRNG(7)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewExecutor(Int8, net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.TrainBatch(context.Background(), x, labels); !errors.Is(err, engine.ErrInferenceOnly) {
+		t.Fatalf("int8 train error = %v, want ErrInferenceOnly", err)
+	}
+	if _, err := q.Predict(context.Background(), x); err != nil {
+		t.Fatalf("int8 predict: %v", err)
+	}
+}
+
+// TestInt8IDPlumbing: parsing, naming and column membership of the int8
+// inference column.
+func TestInt8IDPlumbing(t *testing.T) {
+	id, err := ParseID("int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != Int8 {
+		t.Fatalf("ParseID(int8) = %v", id)
+	}
+	if id.String() != "Int8" {
+		t.Fatalf("String = %q", id.String())
+	}
+	for _, fw := range All {
+		if fw == Int8 {
+			t.Fatal("Int8 must not appear in All (it cannot train)")
+		}
+	}
+	found := false
+	for _, fw := range InferColumns {
+		if fw == Int8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Int8 missing from InferColumns")
+	}
+}

@@ -285,3 +285,59 @@ func TestGradCheckConnTableConv(t *testing.T) {
 		}
 	}
 }
+
+func TestGradCheckResidual(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	// Branch conv preserves [2,6,6] (pad 1, stride 1); tanh keeps the
+	// finite-difference surface smooth through the skip add.
+	res, err := NewResidual("res1", []int{2, 6, 6},
+		mustConv(t, Conv2DConfig{Name: "res1.conv", InC: 2, InH: 6, InW: 6, OutC: 2, Kernel: 3, Stride: 1, Pad: 1}),
+		mustAct(t, "res1.tanh", Tanh),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork("res-net", []int{2, 6, 6})
+	if err := net.Add(res, NewFlatten("flat"), mustDense(t, "fc", 2*6*6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitNetwork(net, InitConfig{Scheme: InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	x, labels := randomBatch(rng, 3, []int{2, 6, 6}, 3)
+	checkGradients(t, net, x, labels)
+}
+
+func TestGradCheckStackedResiduals(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	mkRes := func(name string) *Residual {
+		r, err := NewResidual(name, []int{2, 5, 5},
+			mustConv(t, Conv2DConfig{Name: name + ".conv", InC: 2, InH: 5, InW: 5, OutC: 2, Kernel: 3, Stride: 1, Pad: 1}),
+			mustAct(t, name+".tanh", Tanh),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	net := NewNetwork("res-stack", []int{2, 5, 5})
+	if err := net.Add(mkRes("res1"), mkRes("res2"), NewFlatten("flat"), mustDense(t, "fc", 2*5*5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := InitNetwork(net, InitConfig{Scheme: InitXavier}, rng); err != nil {
+		t.Fatal(err)
+	}
+	x, labels := randomBatch(rng, 2, []int{2, 5, 5}, 4)
+	checkGradients(t, net, x, labels)
+}
+
+func TestResidualRejectsShapeChange(t *testing.T) {
+	// A branch that changes the per-sample shape cannot take an identity
+	// skip.
+	_, err := NewResidual("bad", []int{2, 6, 6},
+		mustConv(t, Conv2DConfig{Name: "bad.conv", InC: 2, InH: 6, InW: 6, OutC: 4, Kernel: 3, Stride: 1, Pad: 1}),
+	)
+	if err == nil {
+		t.Fatal("shape-changing branch accepted")
+	}
+}

@@ -70,7 +70,7 @@ func InitNetwork(net *Network, cfg InitConfig, rng *tensor.RNG) error {
 		sigma = 0.1
 	}
 	firstConvSeen := false
-	for _, l := range net.Layers() {
+	for _, l := range flattenLayers(net.Layers()) {
 		layerSigma := sigma
 		if _, isFC := l.(*Dense); isFC && cfg.FCSigma != 0 {
 			layerSigma = cfg.FCSigma
@@ -104,6 +104,21 @@ func InitNetwork(net *Network, cfg InitConfig, rng *tensor.RNG) error {
 		}
 	}
 	return nil
+}
+
+// flattenLayers expands residual blocks so initialization sees every
+// parameterized layer directly (correct fan estimates and conn-table
+// masking inside branches). A Residual itself owns no parameters.
+func flattenLayers(layers []Layer) []Layer {
+	out := make([]Layer, 0, len(layers))
+	for _, l := range layers {
+		if r, ok := l.(*Residual); ok {
+			out = append(out, flattenLayers(r.Branch())...)
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
 }
 
 // fans estimates fan-in/fan-out for a parameter of a layer.

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Residual wraps a branch of layers with an identity skip connection:
+// y = x + F(x), the basic ResNet cell. The branch must preserve the
+// per-sample shape (checked at construction), so the skip needs no
+// projection.
+//
+// To the layerwise and module executors a Residual is one opaque layer;
+// the graph executor instead expands it into real dataflow nodes (one
+// per branch layer plus a two-input add) via Branch/AddForward/SkipAdd,
+// which share this struct's buffers — both schedules run the identical
+// arithmetic, so numerics stay bit-exact across executor styles.
+type Residual struct {
+	name   string
+	branch []Layer
+
+	outBuf    *tensor.Tensor
+	gradInBuf *tensor.Tensor
+}
+
+var _ Layer = (*Residual)(nil)
+
+// NewResidual builds a skip-connection block around branch. inShape is
+// the per-sample input shape; the branch's composed OutShape must map it
+// to itself.
+func NewResidual(name string, inShape []int, branch ...Layer) (*Residual, error) {
+	if len(branch) == 0 {
+		return nil, fmt.Errorf("residual %q: empty branch", name)
+	}
+	cur := append([]int(nil), inShape...)
+	var err error
+	for _, l := range branch {
+		if cur, err = l.OutShape(cur); err != nil {
+			return nil, fmt.Errorf("residual %q: %w", name, err)
+		}
+	}
+	if !shapeEq(cur, inShape) {
+		return nil, fmt.Errorf("residual %q: %w: branch maps %v to %v; skip needs identity shape", name, ErrShape, inShape, cur)
+	}
+	return &Residual{name: name, branch: branch}, nil
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Branch returns the layers of the residual function F; the graph
+// executor schedules them as individual nodes.
+func (r *Residual) Branch() []Layer { return r.branch }
+
+// Params implements Layer: the concatenated branch parameters.
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.branch {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer: identity (validated against the branch).
+func (r *Residual) OutShape(in []int) ([]int, error) {
+	cur := in
+	var err error
+	for _, l := range r.branch {
+		if cur, err = l.OutShape(cur); err != nil {
+			return nil, fmt.Errorf("residual %q: %w", r.name, err)
+		}
+	}
+	if !shapeEq(cur, in) {
+		return nil, fmt.Errorf("residual %q: %w: branch output %v vs skip %v", r.name, ErrShape, cur, in)
+	}
+	return append([]int(nil), in...), nil
+}
+
+// FLOPsPerSample implements Layer: the branch plus one add per element.
+func (r *Residual) FLOPsPerSample(in []int) int64 {
+	total := int64(tensor.Volume(in))
+	cur := in
+	for _, l := range r.branch {
+		total += l.FLOPsPerSample(cur)
+		if next, err := l.OutShape(cur); err == nil {
+			cur = next
+		}
+	}
+	return total
+}
+
+// ReleaseBuffers drops the block's persistent buffers and recurses into
+// the branch.
+func (r *Residual) ReleaseBuffers() {
+	r.outBuf = nil
+	r.gradInBuf = nil
+	for _, l := range r.branch {
+		if br, ok := l.(bufferReleaser); ok {
+			br.ReleaseBuffers()
+		}
+	}
+}
+
+// Forward implements Layer: y = x + F(x).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	cur := x
+	var err error
+	for _, l := range r.branch {
+		if cur, err = l.Forward(cur, train); err != nil {
+			return nil, fmt.Errorf("residual %q: %w", r.name, err)
+		}
+	}
+	return r.AddForward(x, cur)
+}
+
+// AddForward computes the skip add y = x + fx into the block's
+// persistent output buffer. The graph executor calls it directly as the
+// add node after scheduling the branch itself; Forward routes through it
+// so both paths run the same instruction stream.
+func (r *Residual) AddForward(x, fx *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Len() != fx.Len() {
+		return nil, fmt.Errorf("residual %q: %w: skip %v vs branch %v", r.name, ErrShape, x.Shape(), fx.Shape())
+	}
+	r.outBuf = reuseBufLike(r.outBuf, x)
+	od, xd, fd := r.outBuf.Data(), x.Data(), fx.Data()
+	for i := range od {
+		od[i] = xd[i] + fd[i]
+	}
+	return r.outBuf, nil
+}
+
+// Backward implements Layer: ∂loss/∂x = Fᵀ'(g) + g — the branch's input
+// gradient plus the skip's pass-through.
+func (r *Residual) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := gradOut
+	var err error
+	for i := len(r.branch) - 1; i >= 0; i-- {
+		if cur, err = r.branch[i].Backward(cur); err != nil {
+			return nil, fmt.Errorf("residual %q: %w", r.name, err)
+		}
+	}
+	return r.SkipAdd(cur, gradOut)
+}
+
+// SkipAdd combines the branch input gradient with the skip gradient into
+// the block's persistent buffer: gradIn = gBranch + g. Shared by
+// Backward and the graph executor's expanded schedule.
+func (r *Residual) SkipAdd(gBranch, g *tensor.Tensor) (*tensor.Tensor, error) {
+	if gBranch.Len() != g.Len() {
+		return nil, fmt.Errorf("residual %q backward: %w: branch grad %v vs skip grad %v", r.name, ErrShape, gBranch.Shape(), g.Shape())
+	}
+	r.gradInBuf = reuseBufLike(r.gradInBuf, g)
+	od, bd, gd := r.gradInBuf.Data(), gBranch.Data(), g.Data()
+	for i := range od {
+		od[i] = bd[i] + gd[i]
+	}
+	return r.gradInBuf, nil
+}

@@ -18,10 +18,13 @@ import (
 // changes so older comparators fail loudly instead of misreading.
 //
 // v2 added the optional per-cell "util" section (resource-utilization
-// summaries from internal/monitor). v1 reports remain loadable: a
-// missing util section simply yields no utilization metrics, so mixed
-// v1/v2 trajectories and diffs degrade gracefully.
-const BenchSchemaVersion = 2
+// summaries from internal/monitor). v3 added the optional top-level
+// "infer" section (per-(column, batch) inference latency cells from
+// `dlbench -mode infer`). Both sections are optional, so v1 and v2
+// reports remain loadable: a missing section simply yields no metrics
+// of that family, and mixed-version trajectories and diffs degrade
+// gracefully.
+const BenchSchemaVersion = 3
 
 // DefaultSlowdownPct is the regression threshold the comparator applies
 // when the caller does not override it: a metric that degrades by more
@@ -61,17 +64,48 @@ type BenchCell struct {
 	Util *monitor.Summary `json:"util,omitempty"`
 }
 
+// BenchInferCell is one (serving column, batch size) point of an
+// inference sweep — the schema-v3 counterpart of BenchCell for the
+// latency-centric workload of `dlbench -mode infer`.
+type BenchInferCell struct {
+	// Framework is the serving column ("TF", "Caffe", "Torch", "Int8");
+	// Network the served model plan ("default" or "resnet").
+	Framework string `json:"framework"`
+	Network   string `json:"network"`
+	Dataset   string `json:"dataset"`
+	Batch     int    `json:"batch"`
+	// Requests is the number of timed requests behind the percentiles.
+	Requests int `json:"requests"`
+	// Per-request latency percentiles in milliseconds (lower is better)
+	// and serving throughput in samples/second (higher is better).
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	ThroughputSPS float64 `json:"throughput_sps"`
+	// AccuracyPct documents the served model (not compared).
+	AccuracyPct float64 `json:"accuracy_pct"`
+}
+
+// Key is the stable join key for inference-cell comparisons.
+func (c BenchInferCell) Key() string {
+	return fmt.Sprintf("%s %s on %s batch %d", c.Framework, c.Network, c.Dataset, c.Batch)
+}
+
 // BenchReport is the schema-versioned document `dlbench bench` writes as
 // BENCH_<n>.json — one point of the repo's performance trajectory.
 type BenchReport struct {
-	SchemaVersion int    `json:"schema_version"`
-	CreatedUnix   int64  `json:"created_unix"`
-	GoVersion     string `json:"go_version"`
-	GOOS          string `json:"goos"`
-	GOARCH        string `json:"goarch"`
-	Scale         string `json:"scale"`
-	Seed          uint64 `json:"seed"`
-	Cells         []BenchCell `json:"cells"`
+	SchemaVersion int         `json:"schema_version"`
+	CreatedUnix   int64       `json:"created_unix"`
+	GoVersion     string      `json:"go_version"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	Scale         string      `json:"scale"`
+	Seed          uint64      `json:"seed"`
+	Cells         []BenchCell `json:"cells,omitempty"`
+	// Infer holds the inference-latency cells of `dlbench -mode infer`
+	// (schema v3). Absent from training-only reports and every v1/v2
+	// report.
+	Infer []BenchInferCell `json:"infer,omitempty"`
 }
 
 // WriteBenchReport encodes the report as indented JSON.
@@ -164,6 +198,25 @@ var utilMetrics = []benchMetric{
 	{"gc_pause_p99_ns", func(c BenchCell) float64 { return float64(c.Util.GCPauseP99NS) }, false, false},
 }
 
+// inferMetric mirrors benchMetric for inference cells. Median latency
+// and throughput are gated — they are the serving headline numbers; the
+// p95/p99 tails are reported ungated because single-process tail
+// percentiles over tens of requests carry too much scheduler noise to
+// fail a build on.
+type inferMetric struct {
+	name         string
+	value        func(BenchInferCell) float64
+	higherBetter bool
+	gated        bool
+}
+
+var inferMetrics = []inferMetric{
+	{"latency_p50_ms", func(c BenchInferCell) float64 { return c.LatencyP50MS }, false, true},
+	{"latency_p95_ms", func(c BenchInferCell) float64 { return c.LatencyP95MS }, false, false},
+	{"latency_p99_ms", func(c BenchInferCell) float64 { return c.LatencyP99MS }, false, false},
+	{"throughput_sps", func(c BenchInferCell) float64 { return c.ThroughputSPS }, true, true},
+}
+
 // Compare joins two reports on cell key and evaluates every metric
 // against the threshold (DefaultSlowdownPct when thresholdPct <= 0).
 func Compare(baseline, current *BenchReport, thresholdPct float64) *Comparison {
@@ -202,6 +255,41 @@ func Compare(baseline, current *BenchReport, thresholdPct float64) *Comparison {
 				}
 			}
 			cmp.Deltas = append(cmp.Deltas, d)
+		}
+	}
+	// Inference cells join like training cells, but only when the current
+	// report carries an infer section at all: a v1/v2 (or training-only
+	// v3) current side has no inference data by construction, and warning
+	// about every inference cell would bury the real diff.
+	if len(current.Infer) > 0 {
+		curInf := make(map[string]BenchInferCell, len(current.Infer))
+		for _, c := range current.Infer {
+			curInf[c.Key()] = c
+		}
+		baseInf := make([]BenchInferCell, len(baseline.Infer))
+		copy(baseInf, baseline.Infer)
+		sort.Slice(baseInf, func(i, j int) bool { return baseInf[i].Key() < baseInf[j].Key() })
+		for _, b := range baseInf {
+			c, ok := curInf[b.Key()]
+			if !ok {
+				cmp.MissingCells = append(cmp.MissingCells, b.Key())
+				continue
+			}
+			for _, m := range inferMetrics {
+				bv, cv := m.value(b), m.value(c)
+				d := Delta{Cell: b.Key(), Metric: m.name, Baseline: bv, Current: cv}
+				if bv > 0 {
+					d.ChangePct = 100 * (cv - bv) / bv
+					if m.gated {
+						if m.higherBetter {
+							d.Regressed = d.ChangePct < -thresholdPct
+						} else {
+							d.Regressed = d.ChangePct > thresholdPct
+						}
+					}
+				}
+				cmp.Deltas = append(cmp.Deltas, d)
+			}
 		}
 	}
 	return cmp
@@ -256,8 +344,10 @@ func formatMetric(metric string, v float64) string {
 	switch metric {
 	case "peak_alloc_bytes", "peak_heap_inuse_bytes", "avg_heap_inuse_bytes":
 		return formatBytes(int64(v))
-	case "iters_per_sec":
+	case "iters_per_sec", "throughput_sps":
 		return strconv.FormatFloat(v, 'f', 1, 64)
+	case "latency_p50_ms", "latency_p95_ms", "latency_p99_ms":
+		return strconv.FormatFloat(v, 'f', 3, 64) + "ms"
 	case "avg_cpu_pct":
 		return strconv.FormatFloat(v, 'f', 1, 64) + "%"
 	case "gc_pause_p99_ns":

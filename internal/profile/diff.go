@@ -11,10 +11,10 @@ import (
 // OpDelta is the change in one op's self time between two reports'
 // top-of-profile tables for the same cell.
 type OpDelta struct {
-	Op                string
-	BaselineSelfS     float64
-	CurrentSelfS      float64
-	DeltaSeconds      float64
+	Op            string
+	BaselineSelfS float64
+	CurrentSelfS  float64
+	DeltaSeconds  float64
 	// SharePct is this op's portion of the cell's train wall-time
 	// growth, when that growth is positive; zero otherwise.
 	SharePct float64

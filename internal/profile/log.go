@@ -99,10 +99,18 @@ func sparkline(vals []float64) string {
 // index followed by one row per cell with iters/sec, peak heap and
 // CPU% sparkline columns across the whole trajectory. Peak heap uses
 // the profiling watermark (present in every schema version); CPU% comes
-// from the v2 util section and renders '·' for reports without one.
+// from the v2 util section and renders '·' for reports without one —
+// the whole column pair is omitted when no report in the trajectory
+// carries utilization data, so a pre-v2 trajectory is not padded with
+// all-missing columns. Schema-v3 inference cells, when present, render
+// as their own latency section after the training table.
 func FormatTrajectory(points []TrajectoryPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Benchmark trajectory: %d report(s)\n\n", len(points))
+	if len(points) == 0 {
+		b.WriteString("no reports to render\n")
+		return b.String()
+	}
 	idx := metrics.NewTable("#", "Report", "Created (UTC)", "Schema", "Scale", "Go", "Cells")
 	for i, p := range points {
 		created := "-"
@@ -134,8 +142,23 @@ func FormatTrajectory(points []TrajectoryPoint) string {
 	}
 	sort.Strings(cells)
 
+	// Utilization columns only exist when some report actually sampled
+	// utilization; a v1-only trajectory gets the two-column table rather
+	// than a wall of '·'.
+	hasUtil := false
+	for _, p := range points {
+		for _, c := range p.Report.Cells {
+			if c.Util != nil {
+				hasUtil = true
+			}
+		}
+	}
+	header := []string{"Cell", "Iters/s", "(last)", "Peak heap", "(last)"}
+	if hasUtil {
+		header = append(header, "CPU avg", "(last)")
+	}
 	b.WriteString("\n")
-	tbl := metrics.NewTable("Cell", "Iters/s", "(last)", "Peak heap", "(last)", "CPU avg", "(last)")
+	tbl := metrics.NewTable(header...)
 	for _, cell := range cells {
 		iters := make([]float64, len(points))
 		heap := make([]float64, len(points))
@@ -154,10 +177,61 @@ func FormatTrajectory(points []TrajectoryPoint) string {
 				break
 			}
 		}
-		tbl.AddRow(cell,
+		row := []string{cell,
 			sparkline(iters), lastVal(iters, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }),
 			sparkline(heap), lastVal(heap, func(v float64) string { return formatBytes(int64(v)) }),
-			sparkline(cpu), lastVal(cpu, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) + "%" }),
+		}
+		if hasUtil {
+			row = append(row,
+				sparkline(cpu), lastVal(cpu, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) + "%" }))
+		}
+		tbl.AddRow(row...)
+	}
+	b.WriteString(tbl.String())
+	b.WriteString(formatInferTrajectory(points))
+	return b.String()
+}
+
+// formatInferTrajectory renders the inference-latency section of the
+// trajectory: one row per inference cell with p50 latency and throughput
+// sparklines. Empty ("") when no report carries inference cells, so
+// pre-v3 trajectories render exactly as before.
+func formatInferTrajectory(points []TrajectoryPoint) string {
+	cellSet := make(map[string]bool)
+	for _, p := range points {
+		for _, c := range p.Report.Infer {
+			cellSet[c.Key()] = true
+		}
+	}
+	if len(cellSet) == 0 {
+		return ""
+	}
+	cells := make([]string, 0, len(cellSet))
+	for c := range cellSet {
+		cells = append(cells, c)
+	}
+	sort.Strings(cells)
+
+	var b strings.Builder
+	b.WriteString("\nInference latency:\n")
+	tbl := metrics.NewTable("Infer cell", "p50 ms", "(last)", "Samples/s", "(last)")
+	for _, cell := range cells {
+		p50 := make([]float64, len(points))
+		tput := make([]float64, len(points))
+		for i, p := range points {
+			p50[i], tput[i] = math.NaN(), math.NaN()
+			for _, c := range p.Report.Infer {
+				if c.Key() != cell {
+					continue
+				}
+				p50[i] = c.LatencyP50MS
+				tput[i] = c.ThroughputSPS
+				break
+			}
+		}
+		tbl.AddRow(cell,
+			sparkline(p50), lastVal(p50, func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }),
+			sparkline(tput), lastVal(tput, func(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }),
 		)
 	}
 	b.WriteString(tbl.String())

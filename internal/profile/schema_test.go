@@ -49,12 +49,34 @@ func sampleUtil() *monitor.Summary {
 }
 
 // v2Report builds a schema-v2 report over the same cell as the v1
-// fixture, with utilization attached.
+// fixture, with utilization attached. The version is pinned to 2: v2
+// documents have no infer section, whatever the current writer version.
 func v2Report() *BenchReport {
 	r := sampleReport()
+	r.SchemaVersion = 2
 	r.Cells = r.Cells[:1]
 	r.Cells[0].TopOps = []BenchOp{{Name: "graph.op.conv4", SelfSeconds: 0.4, SelfPct: 40}}
 	r.Cells[0].Util = sampleUtil()
+	return r
+}
+
+// v3Report builds a schema-v3 report: the v2 layout plus an infer
+// section.
+func v3Report() *BenchReport {
+	r := v2Report()
+	r.SchemaVersion = 3
+	r.Infer = []BenchInferCell{
+		{
+			Framework: "TF", Network: "default", Dataset: "MNIST", Batch: 1, Requests: 40,
+			LatencyP50MS: 2.1, LatencyP95MS: 2.8, LatencyP99MS: 3.5,
+			ThroughputSPS: 460, AccuracyPct: 90,
+		},
+		{
+			Framework: "Int8", Network: "default", Dataset: "MNIST", Batch: 1, Requests: 40,
+			LatencyP50MS: 0.8, LatencyP95MS: 1.1, LatencyP99MS: 1.4,
+			ThroughputSPS: 1200, AccuracyPct: 89.5,
+		},
+	}
 	return r
 }
 
@@ -81,8 +103,8 @@ func TestV1DiffsCleanlyAgainstV2(t *testing.T) {
 	}
 	v2 := v2Report()
 	for _, dir := range []struct {
-		name           string
-		base, cur      *BenchReport
+		name      string
+		base, cur *BenchReport
 	}{
 		{"v1 baseline vs v2 current", v1, v2},
 		{"v2 baseline vs v1 current", v2, v1},

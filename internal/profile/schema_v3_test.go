@@ -1,0 +1,226 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenFixturesLoad: the checked-in v1/v2/v3 fixture reports all
+// load under the current reader — the golden compatibility contract.
+func TestGoldenFixturesLoad(t *testing.T) {
+	for _, tc := range []struct {
+		path    string
+		version int
+		util    bool
+		infer   int
+	}{
+		{"testdata/BENCH_1.json", 1, false, 0},
+		{"testdata/BENCH_2.json", 2, true, 0},
+		{"testdata/BENCH_3.json", 3, true, 2},
+	} {
+		r, err := LoadBenchReport(tc.path)
+		if err != nil {
+			t.Fatalf("%s no longer loads under v%d reader: %v", tc.path, BenchSchemaVersion, err)
+		}
+		if r.SchemaVersion != tc.version {
+			t.Errorf("%s: schema version %d, want %d", tc.path, r.SchemaVersion, tc.version)
+		}
+		if got := r.Cells[0].Util != nil; got != tc.util {
+			t.Errorf("%s: util present = %v, want %v", tc.path, got, tc.util)
+		}
+		if len(r.Infer) != tc.infer {
+			t.Errorf("%s: %d infer cells, want %d", tc.path, len(r.Infer), tc.infer)
+		}
+	}
+}
+
+// TestOldFixturesDiffCleanlyAgainstV3: a v1 or v2 baseline diffs against
+// the v3 fixture (and the reverse) without failing, without inventing
+// inference rows for the side that has none, and without burying the
+// diff in missing-cell warnings about a section the old schema could not
+// have carried.
+func TestOldFixturesDiffCleanlyAgainstV3(t *testing.T) {
+	v3, err := LoadBenchReport("testdata/BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range []string{"testdata/BENCH_1.json", "testdata/BENCH_2.json"} {
+		o, err := LoadBenchReport(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range []struct {
+			name      string
+			base, cur *BenchReport
+		}{
+			{old + " baseline vs v3 current", o, v3},
+			{"v3 baseline vs " + old + " current", v3, o},
+		} {
+			cmp := Compare(dir.base, dir.cur, 50)
+			if cmp.Failed() {
+				t.Errorf("%s: regressed: %+v", dir.name, cmp.Regressions())
+			}
+			for _, d := range cmp.Deltas {
+				if strings.Contains(d.Metric, "latency") || d.Metric == "throughput_sps" {
+					t.Errorf("%s: inference metric %q compared despite a pre-v3 side", dir.name, d.Metric)
+				}
+			}
+			for _, m := range cmp.MissingCells {
+				if strings.Contains(m, "batch") {
+					t.Errorf("%s: warned about inference cell %q missing from a pre-v3 report", dir.name, m)
+				}
+			}
+			if out := cmp.Format(); out == "" {
+				t.Errorf("%s: empty Format", dir.name)
+			}
+			if out, _ := FormatDiff(dir.base, dir.cur, 50); out == "" {
+				t.Errorf("%s: empty FormatDiff", dir.name)
+			}
+		}
+	}
+}
+
+// TestV3InferRoundTripAndKey: infer cells survive a write/read cycle and
+// key stably.
+func TestV3InferRoundTripAndKey(t *testing.T) {
+	r := v3Report()
+	var buf strings.Builder
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Infer) != 2 || back.Infer[1].ThroughputSPS != 1200 {
+		t.Fatalf("infer section lost in round trip: %+v", back.Infer)
+	}
+	if got, want := back.Infer[0].Key(), "TF default on MNIST batch 1"; got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+}
+
+// TestV3InferCompareGates: median latency and throughput are gated;
+// tail percentiles are informational.
+func TestV3InferCompareGates(t *testing.T) {
+	base := v3Report()
+
+	// p50 latency +50% regresses.
+	cur := v3Report()
+	cur.Infer[0].LatencyP50MS *= 1.5
+	cmp := Compare(base, cur, 15)
+	if !cmp.Failed() {
+		t.Fatal("p50 latency +50% did not regress")
+	}
+	found := false
+	for _, d := range cmp.Regressions() {
+		if d.Metric == "latency_p50_ms" && d.Cell == "TF default on MNIST batch 1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regressions = %+v", cmp.Regressions())
+	}
+
+	// Throughput -50% regresses.
+	cur = v3Report()
+	cur.Infer[1].ThroughputSPS /= 2
+	if cmp := Compare(base, cur, 15); !cmp.Failed() {
+		t.Fatal("throughput halving did not regress")
+	}
+
+	// Tail percentiles doubling is reported but does not fail.
+	cur = v3Report()
+	cur.Infer[0].LatencyP95MS *= 2
+	cur.Infer[0].LatencyP99MS *= 2
+	cmp = Compare(base, cur, 15)
+	if cmp.Failed() {
+		t.Fatalf("tail percentiles failed the comparison: %+v", cmp.Regressions())
+	}
+	seen := map[string]bool{}
+	for _, d := range cmp.Deltas {
+		seen[d.Metric] = true
+	}
+	for _, want := range []string{"latency_p95_ms", "latency_p99_ms"} {
+		if !seen[want] {
+			t.Errorf("delta table missing informational metric %q", want)
+		}
+	}
+
+	// A dropped inference cell warns, like a dropped training cell.
+	cur = v3Report()
+	cur.Infer = cur.Infer[:1]
+	cmp = Compare(base, cur, 15)
+	if cmp.Failed() {
+		t.Fatal("missing inference cell must warn, not fail")
+	}
+	if len(cmp.MissingCells) != 1 || cmp.MissingCells[0] != "Int8 default on MNIST batch 1" {
+		t.Fatalf("missing cells = %v", cmp.MissingCells)
+	}
+}
+
+// TestTrajectoryMixedVersionsFromFixtures: `bench log` over the golden
+// testdata directory loads all three schema versions without a single
+// warning and renders both the training table and the v3 inference
+// section.
+func TestTrajectoryMixedVersionsFromFixtures(t *testing.T) {
+	points, warnings, err := LoadTrajectory("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("golden fixtures produced warnings: %v", warnings)
+	}
+	if len(points) != 3 {
+		t.Fatalf("loaded %d reports, want 3", len(points))
+	}
+	out := FormatTrajectory(points)
+	for _, want := range []string{
+		"3 report(s)",
+		"BENCH_1.json", "BENCH_2.json", "BENCH_3.json",
+		"TF TF MNIST on MNIST @GPU",
+		"Iters/s", "CPU avg",
+		"Inference latency:",
+		"TF default on MNIST batch 1",
+		"Int8 default on MNIST batch 1",
+		"1200.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trajectory missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFormatTrajectoryEmpty: the empty-trajectory path must render a
+// readable notice, not a pair of headerless tables (regression test for
+// the `bench log` empty-state fix).
+func TestFormatTrajectoryEmpty(t *testing.T) {
+	out := FormatTrajectory(nil)
+	if !strings.Contains(out, "0 report(s)") || !strings.Contains(out, "no reports to render") {
+		t.Fatalf("empty trajectory rendering = %q", out)
+	}
+	if strings.Contains(out, "Cell") {
+		t.Fatalf("empty trajectory rendered table headers:\n%s", out)
+	}
+}
+
+// TestFormatTrajectoryV1Only: a trajectory of only pre-utilization (v1)
+// reports renders without the CPU column pair — no wall of '·' — and
+// without an inference section.
+func TestFormatTrajectoryV1Only(t *testing.T) {
+	r, err := LoadBenchReport("testdata/BENCH_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTrajectory([]TrajectoryPoint{{Path: "testdata/BENCH_1.json", Report: r}})
+	for _, want := range []string{"1 report(s)", "Iters/s", "Peak heap", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("v1-only trajectory missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"CPU avg", "·", "Inference latency:"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("v1-only trajectory rendered %q:\n%s", reject, out)
+		}
+	}
+}

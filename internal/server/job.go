@@ -61,6 +61,16 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's execution once started; 0 picks the
 	// server default. The server clamps it to its configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Mode selects the workload: "train" (default) runs one training cell;
+	// "infer" measures serving latency for one (framework, batch) point.
+	Mode string `json:"mode,omitempty"`
+	// Network, Batch and Requests parameterize an inference job: the
+	// served model plan ("default" or "resnet"), the request batch size
+	// (default 1 — the interactive-serving case), and the number of timed
+	// requests (default 20). Train jobs must leave them unset.
+	Network  string `json:"network,omitempty"`
+	Batch    int    `json:"batch,omitempty"`
+	Requests int    `json:"requests,omitempty"`
 }
 
 // Validate resolves the spec against the framework/dataset registries and
@@ -69,8 +79,53 @@ func (js *JobSpec) Validate() error {
 	if js.Framework == "" {
 		return fmt.Errorf("missing framework")
 	}
-	if _, err := framework.ParseID(js.Framework); err != nil {
+	fw, err := framework.ParseID(js.Framework)
+	if err != nil {
 		return err
+	}
+	switch js.Mode {
+	case "":
+		js.Mode = "train"
+	case "train", "infer":
+	default:
+		return fmt.Errorf("unknown mode %q (want train or infer)", js.Mode)
+	}
+	if js.Mode == "train" {
+		// The int8 column is inference-only (engine.ErrInferenceOnly at the
+		// first TrainBatch); reject it at admission, not mid-run.
+		if fw == framework.Int8 {
+			return fmt.Errorf("framework %q cannot train (inference-only); submit with mode=infer", js.Framework)
+		}
+		if js.Network != "" || js.Batch != 0 || js.Requests != 0 {
+			return fmt.Errorf("network/batch/requests are inference-job fields; set mode=infer")
+		}
+	} else {
+		if js.Network == "" {
+			js.Network = "default"
+		}
+		switch js.Network {
+		case "default", "resnet":
+		default:
+			return fmt.Errorf("unknown network %q (want default or resnet)", js.Network)
+		}
+		if js.Batch == 0 {
+			js.Batch = 1
+		}
+		if js.Batch < 1 || js.Batch > 256 {
+			return fmt.Errorf("inference batch %d out of range [1,256]", js.Batch)
+		}
+		if js.Requests == 0 {
+			js.Requests = 20
+		}
+		if js.Requests < 1 || js.Requests > 10000 {
+			return fmt.Errorf("inference requests %d out of range [1,10000]", js.Requests)
+		}
+		if js.Faults != "" {
+			return fmt.Errorf("fault injection targets the training loop; inference jobs cannot set faults")
+		}
+		if js.SettingsFramework != "" || js.SettingsDataset != "" {
+			return fmt.Errorf("settings transfer applies to training cells; inference jobs cannot set it")
+		}
 	}
 	if js.Dataset == "" {
 		return fmt.Errorf("missing dataset")
@@ -139,6 +194,31 @@ func (js *JobSpec) RunSpec() (core.RunSpec, error) {
 		spec.Device = device.CPU
 	}
 	return spec, nil
+}
+
+// InferConfig converts a validated infer-mode spec to the suite's sweep
+// configuration: one serving column, one batch size.
+func (js *JobSpec) InferConfig() (core.InferConfig, error) {
+	fw, err := framework.ParseID(js.Framework)
+	if err != nil {
+		return core.InferConfig{}, err
+	}
+	ds, err := framework.ParseDataset(js.Dataset)
+	if err != nil {
+		return core.InferConfig{}, err
+	}
+	cfg := core.InferConfig{
+		Dataset:    ds,
+		Device:     device.GPU,
+		Network:    js.Network,
+		BatchSizes: []int{js.Batch},
+		Columns:    []framework.ID{fw},
+		Requests:   js.Requests,
+	}
+	if js.Device == "cpu" || js.Device == "CPU" {
+		cfg.Device = device.CPU
+	}
+	return cfg, nil
 }
 
 // shardKey groups jobs that can share a warm suite (datasets, trained

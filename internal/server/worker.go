@@ -173,10 +173,6 @@ func newSuiteRunner(s *Server, shards int) *suiteRunner {
 // run executes one attempt. Only the owning shard's worker touches
 // r.shards[shard], so the cache needs no lock.
 func (r *suiteRunner) run(ctx context.Context, shard int, j *Job) (*metrics.RunResult, error) {
-	spec, err := j.Spec.RunSpec()
-	if err != nil {
-		return nil, err
-	}
 	key := j.Spec.shardKey()
 	suite := r.shards[shard][key]
 	if suite == nil {
@@ -191,6 +187,37 @@ func (r *suiteRunner) run(ctx context.Context, shard int, j *Job) (*metrics.RunR
 			r.shards[shard] = make(map[string]*core.Suite)
 		}
 		r.shards[shard][key] = suite
+	}
+	var row *metrics.RunResult
+	var err error
+	if j.Spec.Mode == "infer" {
+		row, err = r.runInfer(ctx, suite, j)
+	} else {
+		row, err = r.runTrain(ctx, suite, j)
+	}
+	if err != nil {
+		// The failed run may have left the cached suite mid-state (a
+		// contained panic especially); drop it so the next attempt starts
+		// clean. Fault isolation at the cost of one cold cache.
+		delete(r.shards[shard], key)
+		return nil, err
+	}
+	if r.server.underMemoryPressure() {
+		// Degrade before the monitor watermark starts shedding: dropping
+		// dormant models trades warm-cache latency for headroom.
+		suite.ReleaseModels()
+		r.shards[shard] = map[string]*core.Suite{}
+		runtime.GC()
+		r.server.cCacheDrops.Inc()
+	}
+	return row, nil
+}
+
+// runTrain executes one training attempt on the shard's suite.
+func (r *suiteRunner) runTrain(ctx context.Context, suite *core.Suite, j *Job) (*metrics.RunResult, error) {
+	spec, err := j.Spec.RunSpec()
+	if err != nil {
+		return nil, err
 	}
 	// Each job measures fresh: drop the cell's memoized model so training
 	// re-executes (a cache hit would return stale metrics and skip the
@@ -212,19 +239,55 @@ func (r *suiteRunner) run(ctx context.Context, shard int, j *Job) (*metrics.RunR
 	row, err := suite.RunContext(ctx, spec)
 	suite.Obs, suite.Faults, suite.Progress = nil, nil, nil
 	if err != nil {
-		// The failed run may have left the cached suite mid-state (a
-		// contained panic especially); drop it so the next attempt starts
-		// clean. Fault isolation at the cost of one cold cache.
-		delete(r.shards[shard], key)
 		return nil, err
 	}
-	if r.server.underMemoryPressure() {
-		// Degrade before the monitor watermark starts shedding: dropping
-		// dormant models trades warm-cache latency for headroom.
-		suite.ReleaseModels()
-		r.shards[shard] = map[string]*core.Suite{}
-		runtime.GC()
-		r.server.cCacheDrops.Inc()
-	}
 	return &row, nil
+}
+
+// runInfer executes one inference attempt: a single-column, single-batch
+// sweep on the shard's suite. Unlike training jobs, the memoized model is
+// NOT released first — cache warmth is the point of a serving measurement,
+// so repeated inference jobs against one shard pay training once and then
+// measure pure serving latency. The event stream terminates with an
+// "infer.summary" event carrying the latency distribution.
+func (r *suiteRunner) runInfer(ctx context.Context, suite *core.Suite, j *Job) (*metrics.RunResult, error) {
+	cfg, err := j.Spec.InferConfig()
+	if err != nil {
+		return nil, err
+	}
+	suite.Obs = j.tracer
+	suite.Progress = func(format string, args ...any) {
+		j.tracer.Emit("job.progress", map[string]any{"id": j.ID, "line": fmt.Sprintf(format, args...)})
+	}
+	rep, err := suite.InferSweep(ctx, cfg)
+	suite.Obs, suite.Progress = nil, nil
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Cells) != 1 {
+		return nil, fmt.Errorf("inference sweep returned %d cells, want 1", len(rep.Cells))
+	}
+	cell := rep.Cells[0]
+	dev := j.Spec.Device
+	if dev == "" {
+		dev = "gpu"
+	}
+	j.tracer.Emit("infer.summary", map[string]any{
+		"id": j.ID, "framework": cell.Framework, "network": cell.Network,
+		"dataset": cell.Dataset, "batch": cell.Batch, "requests": cell.Requests,
+		"latency_p50_ms": cell.LatencyP50MS, "latency_p95_ms": cell.LatencyP95MS,
+		"latency_p99_ms": cell.LatencyP99MS, "throughput_sps": cell.ThroughputSPS,
+		"accuracy_pct": cell.AccuracyPct,
+	})
+	// Shape the serving measurement into the job-result row: Test carries
+	// the timed serving wall clock, Settings names the served model plan.
+	return &metrics.RunResult{
+		Framework:   cell.Framework,
+		Settings:    "infer " + cell.Network + " b" + fmt.Sprint(cell.Batch),
+		Dataset:     cell.Dataset,
+		Device:      dev,
+		Test:        metrics.TimeRecord{WallSeconds: cell.WallSeconds},
+		AccuracyPct: cell.AccuracyPct,
+		Converged:   true,
+	}, nil
 }

@@ -55,6 +55,53 @@ echo "serve-smoke: daemon up on $addr"
 # lost or the accounting does not balance.
 "$bin/loadgen" -addr "$addr" -clients 4 -jobs 1 -deadline 3m
 
+# One inference job end-to-end: submit a batch-1 int8 serving job, then
+# stream its JSONL event log — the stream stays open until the job is
+# terminal, so a single GET captures the whole log — and require that it
+# terminates with the latency summary the worker emits for infer jobs.
+echo "serve-smoke: inference job"
+http_post() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -sS -X POST -H 'Content-Type: application/json' \
+			-H 'X-DLBench-Client: smoke-infer' -d "$2" "$1"
+	else
+		wget -qO- --header='Content-Type: application/json' \
+			--header='X-DLBench-Client: smoke-infer' --post-data="$2" "$1"
+	fi
+}
+http_get() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -sS --max-time 180 "$1"
+	else
+		wget -qO- -T 180 "$1"
+	fi
+}
+reply="$(http_post "http://$addr/jobs" \
+	'{"framework":"int8","dataset":"mnist","scale":"test","mode":"infer","batch":1,"requests":10}')"
+jid="$(printf '%s' "$reply" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$jid" ]; then
+	echo "serve-smoke: FAIL: inference job not accepted: $reply" >&2
+	exit 1
+fi
+events="$bin/infer_events.jsonl"
+http_get "http://$addr/jobs/$jid/events" >"$events" || true
+if ! grep -q '"type":"infer.summary"' "$events"; then
+	echo "serve-smoke: FAIL: inference event stream has no infer.summary" >&2
+	cat "$events" >&2
+	exit 1
+fi
+if ! grep '"type":"infer.summary"' "$events" | grep -q 'latency_p50_ms'; then
+	echo "serve-smoke: FAIL: inference summary carries no latency percentiles" >&2
+	grep '"type":"infer.summary"' "$events" >&2
+	exit 1
+fi
+if ! tail -n 1 "$events" | grep '"type":"job.done"' | grep -q '"state":"completed"'; then
+	echo "serve-smoke: FAIL: inference event stream did not terminate with completion" >&2
+	tail -n 3 "$events" >&2
+	exit 1
+fi
+echo "serve-smoke: inference summary OK ($jid)"
+
 echo "serve-smoke: SIGTERM drain"
 kill -TERM "$pid"
 i=0
