@@ -16,6 +16,8 @@
 //	dlbench bench log [DIR]
 //	dlbench bench diff BASELINE CURRENT [-bench-threshold PCT]
 //	dlbench compare -baseline OLD -bench-out NEW
+//	dlbench serve [-addr A] [-workers N] [-queue-cap N] ...
+//	dlbench top [-addr A] [-interval D] [-n FRAMES]
 //	dlbench -mode infer [-infer-dataset DS] [-infer-network default|resnet]
 //	        [-infer-batches 1,8,32] [-infer-requests N] [-infer-warmup N]
 //	        [-bench-out FILE] [-baseline FILE] [-bench-threshold PCT]
@@ -176,6 +178,13 @@ func run(args []string) error {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		return runServe(ctx, targets[1:], &progressSink{w: os.Stderr, quiet: *quiet})
+	}
+	// The live dashboard only talks HTTP to a daemon, so it too skips
+	// suite construction entirely.
+	if len(targets) > 0 && targets[0] == "top" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runTop(ctx, targets[1:], os.Stdout)
 	}
 	// Query subcommands over existing reports: neither runs anything, so
 	// they dispatch before any suite construction.

@@ -82,9 +82,16 @@ func runServe(ctx context.Context, args []string, sink *progressSink) error {
 		}
 	})
 	start := time.Now()
+	// /status carries both layers: the generic process view (uptime,
+	// counters, latest monitor sample) plus the job core's live view
+	// (queue depths per shard, in-flight jobs with their current span) —
+	// everything `dlbench top` renders in one scrape.
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		st := statusView(tracer, sampler, time.Since(start))
+		st := struct {
+			status
+			Server server.StatusView `json:"server"`
+		}{statusView(tracer, sampler, time.Since(start)), srv.Status()}
 		if err := json.NewEncoder(w).Encode(st); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}

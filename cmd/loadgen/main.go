@@ -2,7 +2,13 @@
 // concurrent clients and reports what the admission-control machinery did
 // with the load: how many jobs were accepted, completed, failed,
 // rate-limited, rejected at the queue, or shed under resource pressure —
-// plus submit and end-to-end tail latencies (p50/p95/p99).
+// plus submit and end-to-end tail latencies (p50/p95/p99). Terminal
+// responses carry the server's own latency attribution headers
+// (X-DLBench-Queue-Seconds, X-DLBench-Exec-Seconds), so the report shows
+// client-observed end-to-end next to server-attributed queue/exec and the
+// attribution gap between them. -stream-every N replays every Nth
+// terminal job's /events JSONL and verifies event seq contiguity —
+// silently lost events fail the run.
 //
 // Its core invariant check is accounting: every submission must end as
 // either a terminal job (completed/failed) or an explicit rejection. A
@@ -16,6 +22,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,8 +57,12 @@ type tally struct {
 	counts      map[string]int
 	submitLat   []time.Duration // all submissions (accepted or rejected)
 	endToEndLat []time.Duration // accepted jobs that reached a terminal state
+	queueLat    []time.Duration // server-attributed queue wait (response header)
+	execLat     []time.Duration // server-attributed execution time (response header)
+	gapLat      []time.Duration // attribution gap: client e2e minus server queue+exec
 	lost        []string        // accepted but never terminal before the deadline
-	errors      []string        // transport/protocol errors
+	errors      []string        // transport/protocol errors (per-submission accounting)
+	streamErrs  []string        // event-stream errors (seq gaps); outside accounting
 }
 
 func newTally() *tally { return &tally{counts: map[string]int{}} }
@@ -61,15 +73,40 @@ func (t *tally) submit(d time.Duration) {
 	t.submitLat = append(t.submitLat, d)
 	t.mu.Unlock()
 }
-func (t *tally) endToEnd(d time.Duration) {
+
+// endToEnd records a terminal job's client-observed latency next to the
+// server's own attribution of it. The gap between the two — client e2e
+// minus server queue+exec — is submit/poll overhead plus any lifecycle
+// time the server's spans failed to attribute.
+func (t *tally) endToEnd(d time.Duration, queueS, execS float64) {
 	t.mu.Lock()
 	t.endToEndLat = append(t.endToEndLat, d)
+	if queueS > 0 || execS > 0 {
+		queue := time.Duration(queueS * float64(time.Second))
+		exec := time.Duration(execS * float64(time.Second))
+		t.queueLat = append(t.queueLat, queue)
+		t.execLat = append(t.execLat, exec)
+		if gap := d - queue - exec; gap > 0 {
+			t.gapLat = append(t.gapLat, gap)
+		} else {
+			t.gapLat = append(t.gapLat, 0)
+		}
+	}
 	t.mu.Unlock()
 }
 func (t *tally) lose(id string) { t.mu.Lock(); t.lost = append(t.lost, id); t.mu.Unlock() }
 func (t *tally) fail(format string, args ...any) {
 	t.mu.Lock()
 	t.errors = append(t.errors, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// streamFail records an event-stream defect. It fails the run but stays
+// out of the per-submission accounting identity: a stream is a spectator
+// of a job that already has exactly one accounted outcome.
+func (t *tally) streamFail(format string, args ...any) {
+	t.mu.Lock()
+	t.streamErrs = append(t.streamErrs, fmt.Sprintf(format, args...))
 	t.mu.Unlock()
 }
 
@@ -96,7 +133,7 @@ func latencyLine(name string, lats []time.Duration) string {
 // one to a terminal state, and record every outcome. When both variants
 // land on the same job index, the inference variant wins (an inference
 // job cannot carry a fault plan).
-func client(base string, name string, jobs int, body, crashBody, inferBody string, crashEvery, inferEvery int, poll, deadline time.Duration, t *tally) {
+func client(base string, name string, jobs int, body, crashBody, inferBody string, crashEvery, inferEvery, streamEvery int, poll, deadline time.Duration, t *tally) {
 	hc := &http.Client{Timeout: 30 * time.Second}
 	for n := 1; n <= jobs; n++ {
 		spec := body
@@ -139,32 +176,104 @@ func client(base string, name string, jobs int, body, crashBody, inferBody strin
 			continue
 		}
 		t.count("accepted")
-		if state := pollTerminal(hc, base, reply.ID, poll, deadline); state == "" {
+		if state, queueS, execS := pollTerminal(hc, base, reply.ID, poll, deadline); state == "" {
 			t.lose(reply.ID)
 		} else {
 			t.count(state)
-			t.endToEnd(time.Since(start))
+			t.endToEnd(time.Since(start), queueS, execS)
+			if streamEvery > 0 && n%streamEvery == 0 {
+				streamEvents(hc, base, reply.ID, t)
+			}
 		}
 	}
 }
 
 // pollTerminal polls the job until completed/failed, returning its final
-// state ("" when the deadline passes first).
-func pollTerminal(hc *http.Client, base, id string, poll, deadline time.Duration) string {
+// state ("" when the deadline passes first) plus the server-attributed
+// queue-wait and execution seconds from the terminal response's
+// X-DLBench-Queue-Seconds / X-DLBench-Exec-Seconds headers.
+func pollTerminal(hc *http.Client, base, id string, poll, deadline time.Duration) (string, float64, float64) {
 	limit := time.Now().Add(deadline)
 	for time.Now().Before(limit) {
 		resp, err := hc.Get(base + "/jobs/" + id)
 		if err == nil {
 			var v jobView
 			err = json.NewDecoder(resp.Body).Decode(&v)
+			queueS, _ := strconv.ParseFloat(resp.Header.Get("X-DLBench-Queue-Seconds"), 64)
+			execS, _ := strconv.ParseFloat(resp.Header.Get("X-DLBench-Exec-Seconds"), 64)
 			resp.Body.Close()
 			if err == nil && (v.State == "completed" || v.State == "failed") {
-				return v.State
+				return v.State, queueS, execS
 			}
 		}
 		time.Sleep(poll)
 	}
-	return ""
+	return "", 0, 0
+}
+
+// streamEvents replays a terminal job's /events JSONL and verifies the
+// seq contract: event sequence numbers are assigned before any buffer
+// drop, so the retained log must be contiguous from 1 — any gap means
+// the daemon lost events without saying so via its explicit
+// events.dropped terminal line. Gaps and malformed lines fail the run.
+func streamEvents(hc *http.Client, base, id string, t *tally) {
+	resp, err := hc.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.streamFail("%s: events stream: %v", id, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.streamFail("%s: events stream status %d", id, resp.StatusCode)
+		return
+	}
+	var prev int64
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var ev struct {
+			Type  string `json:"type"`
+			Seq   int64  `json:"seq"`
+			Count int64  `json:"count"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.streamFail("%s: events line %d not JSON: %v", id, lines, err)
+			return
+		}
+		if ev.Type == "events.dropped" {
+			// The daemon's explicit loss marker: a seq gap is expected
+			// before it, and it carries no seq of its own.
+			t.count("events_dropped")
+			continue
+		}
+		if ev.Seq == 0 {
+			continue // seqless line (foreign producer); nothing to check
+		}
+		if prev == 0 && ev.Seq != 1 {
+			t.streamFail("%s: event stream starts at seq %d, want 1", id, ev.Seq)
+			return
+		}
+		if prev > 0 && ev.Seq != prev+1 {
+			t.streamFail("%s: event seq gap: %d -> %d (%d event(s) lost)", id, prev, ev.Seq, ev.Seq-prev-1)
+			return
+		}
+		prev = ev.Seq
+	}
+	if err := sc.Err(); err != nil {
+		t.streamFail("%s: events stream read: %v", id, err)
+		return
+	}
+	if lines == 0 {
+		t.streamFail("%s: events stream empty for a terminal job", id)
+		return
+	}
+	t.count("streamed")
 }
 
 // serverCounters scrapes /metrics for the daemon-side dlbench_server_*
@@ -195,6 +304,7 @@ func run() int {
 	body := flag.String("body", `{"framework":"tf","dataset":"mnist","scale":"test"}`, "job spec JSON")
 	crashEvery := flag.Int("crash-every", 0, "inject a crash fault into every Nth job per client (0 disables)")
 	inferEvery := flag.Int("infer-every", 0, "submit every Nth job per client as a batch-1 inference job (0 disables)")
+	streamEvery := flag.Int("stream-every", 0, "replay the /events stream of every Nth terminal job per client, verifying seq contiguity (0 disables)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "job status poll interval")
 	deadline := flag.Duration("deadline", 5*time.Minute, "per-job wait deadline before declaring it lost")
 	flag.Parse()
@@ -209,7 +319,7 @@ func run() int {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			client(base, fmt.Sprintf("loadgen-%d", i), *jobs, *body, crashBody, inferBody, *crashEvery, *inferEvery, *poll, *deadline, t)
+			client(base, fmt.Sprintf("loadgen-%d", i), *jobs, *body, crashBody, inferBody, *crashEvery, *inferEvery, *streamEvery, *poll, *deadline, t)
 		}(i)
 	}
 	wg.Wait()
@@ -226,10 +336,22 @@ func run() int {
 	for _, k := range []string{"accepted", "completed", "failed", "ratelimited", "queue_full", "shed", "draining"} {
 		fmt.Printf("  %-11s %d\n", k, t.counts[k])
 	}
+	if *streamEvery > 0 {
+		fmt.Printf("  %-11s %d\n", "streamed", t.counts["streamed"])
+	}
 	fmt.Printf("  lost        %d\n", len(t.lost))
-	fmt.Printf("  errors      %d\n", len(t.errors))
+	fmt.Printf("  errors      %d\n", len(t.errors)+len(t.streamErrs))
 	fmt.Println("  " + latencyLine("submit", t.submitLat))
 	fmt.Println("  " + latencyLine("end-to-end", t.endToEndLat))
+	// The server attributes each terminal job's latency to queue wait and
+	// execution (response headers off its span tree); the gap line is what
+	// the client observed beyond that attribution — polling granularity
+	// plus any unattributed lifecycle time.
+	if len(t.queueLat) > 0 {
+		fmt.Println("  " + latencyLine("srv-queue", t.queueLat))
+		fmt.Println("  " + latencyLine("srv-exec", t.execLat))
+		fmt.Println("  " + latencyLine("attrib-gap", t.gapLat))
+	}
 	fmt.Println("daemon-side counters (/metrics):")
 	for _, line := range serverCounters(base) {
 		fmt.Println("  " + line)
@@ -243,6 +365,12 @@ func run() int {
 	for _, e := range t.errors {
 		ok = false
 		fmt.Println("ERROR: " + e)
+	}
+	// Stream errors fail the run but stay out of the accounting identity:
+	// each streamed job already has exactly one accounted outcome.
+	for _, e := range t.streamErrs {
+		ok = false
+		fmt.Println("STREAM ERROR: " + e)
 	}
 	if accounted+len(t.lost)+len(t.errors) != submitted {
 		ok = false

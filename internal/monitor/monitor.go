@@ -67,6 +67,14 @@ type Sample struct {
 	// in percent of one core — above 100 means more than one core busy.
 	// Zero on the first sample (no interval to rate over).
 	CPUPct float64 `json:"cpu_pct"`
+	// GCCount is the number of GC cycles completed in the interval since
+	// the previous sample, and GCPauseP50NS/GCPauseP99NS the pause
+	// quantiles of exactly those cycles (differenced from the cumulative
+	// runtime pause histogram; zero when the interval saw no GC). All
+	// scalars: Sample stays comparable.
+	GCCount      int64 `json:"gc_count"`
+	GCPauseP50NS int64 `json:"gc_pause_p50_ns"`
+	GCPauseP99NS int64 `json:"gc_pause_p99_ns"`
 }
 
 // Summary reduces one observation window to the utilization columns the
@@ -135,12 +143,17 @@ type Sampler struct {
 	prevWall time.Time
 	prevCPU  float64
 	prevOK   bool
+	// prevGCCounts/prevGCCycles are the per-tick GC differencing bases.
+	prevGCCounts []uint64
+	prevGCCycles uint64
+	prevGCOK     bool
 	// reads is the reusable runtime/metrics batch; guarded by mu.
 	reads []metrics.Sample
 
 	// gauge handles are resolved once — the sampling loop must not take
 	// the tracer's registry lock per tick.
 	gHeapInuse, gHeapLive, gGoroutines, gCPU *obs.Gauge
+	gGCCycles, gGCPauseP50, gGCPauseP99      *obs.Gauge
 
 	lifecycle sync.Mutex
 	stop      chan struct{}
@@ -172,6 +185,9 @@ func New(cfg Config) *Sampler {
 		s.gHeapLive = cfg.Tracer.Gauge("monitor.heap_live_bytes")
 		s.gGoroutines = cfg.Tracer.Gauge("monitor.goroutines")
 		s.gCPU = cfg.Tracer.Gauge("monitor.cpu_pct")
+		s.gGCCycles = cfg.Tracer.Gauge("monitor.gc_cycles_total")
+		s.gGCPauseP50 = cfg.Tracer.Gauge("monitor.gc_pause_p50_ns")
+		s.gGCPauseP99 = cfg.Tracer.Gauge("monitor.gc_pause_p99_ns")
 	}
 	return s
 }
@@ -247,6 +263,7 @@ func (s *Sampler) SampleOnce() Sample {
 	now := time.Now()
 	cpuSecs, cpuOK := s.cpu.processCPUSeconds()
 	goroutines := int64(runtime.NumGoroutine())
+	gcCounts, gcCycles := readGCPauseHistogram()
 
 	s.mu.Lock()
 	metrics.Read(s.reads)
@@ -269,6 +286,15 @@ func (s *Sampler) SampleOnce() Sample {
 	if cpuOK {
 		s.prevWall, s.prevCPU, s.prevOK = now, cpuSecs, true
 	}
+	if s.prevGCOK {
+		smp.GCCount = int64(gcCycles - s.prevGCCycles)
+		if smp.GCCount > 0 {
+			diff := diffCounts(gcCounts, s.prevGCCounts)
+			smp.GCPauseP50NS = pauseQuantileNS(diff, 0.50)
+			smp.GCPauseP99NS = pauseQuantileNS(diff, 0.99)
+		}
+	}
+	s.prevGCCounts, s.prevGCCycles, s.prevGCOK = gcCounts, gcCycles, true
 	s.ring[s.head] = smp
 	s.head = (s.head + 1) % len(s.ring)
 	if s.n < len(s.ring) {
@@ -280,11 +306,21 @@ func (s *Sampler) SampleOnce() Sample {
 	s.gHeapLive.Set(float64(smp.HeapLiveBytes))
 	s.gGoroutines.Set(float64(smp.Goroutines))
 	s.gCPU.Set(smp.CPUPct)
+	s.gGCCycles.Set(float64(gcCycles))
+	if smp.GCCount > 0 {
+		// Pause gauges hold the quantiles of the last interval that saw a
+		// GC — a tick with no cycles must not wipe them to zero.
+		s.gGCPauseP50.Set(float64(smp.GCPauseP50NS))
+		s.gGCPauseP99.Set(float64(smp.GCPauseP99NS))
+	}
 	s.tracer.Emit("monitor.sample", map[string]any{
 		"heap_inuse_bytes": smp.HeapInuseBytes,
 		"heap_live_bytes":  smp.HeapLiveBytes,
 		"goroutines":       smp.Goroutines,
 		"cpu_pct":          smp.CPUPct,
+		"gc_count":         smp.GCCount,
+		"gc_pause_p50_ns":  smp.GCPauseP50NS,
+		"gc_pause_p99_ns":  smp.GCPauseP99NS,
 	})
 	return smp
 }

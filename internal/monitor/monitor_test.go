@@ -227,3 +227,45 @@ func TestSamplerFeedsTracerGaugesAndEvents(t *testing.T) {
 		t.Error("no monitor.sample event emitted")
 	}
 }
+
+// TestPerSampleGCColumns: forcing GC between two samples must show up as
+// a per-tick cycle delta with pause quantiles, on the sample, the
+// gauges, and the monitor.sample event — the columns `dlbench top`
+// renders. A Sample must stay comparable (scalar fields only).
+func TestPerSampleGCColumns(t *testing.T) {
+	tr := obs.New()
+	s := New(Config{Tracer: tr})
+	s.SampleOnce() // establishes the GC differencing basis
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	smp := s.SampleOnce()
+	if smp == (Sample{}) {
+		t.Fatal("live sampler returned zero sample")
+	}
+	if smp.GCCount < 3 {
+		t.Fatalf("sample saw %d GC cycles, want >= 3 (forced)", smp.GCCount)
+	}
+	if smp.GCPauseP50NS <= 0 || smp.GCPauseP99NS < smp.GCPauseP50NS {
+		t.Fatalf("per-sample pause quantiles wrong: p50=%d p99=%d", smp.GCPauseP50NS, smp.GCPauseP99NS)
+	}
+	snap := tr.Snapshot()
+	if snap.Gauges["monitor.gc_cycles_total"].Last <= 0 {
+		t.Error("gc_cycles_total gauge not set")
+	}
+	if int64(snap.Gauges["monitor.gc_pause_p50_ns"].Last) != smp.GCPauseP50NS {
+		t.Errorf("gc_pause_p50_ns gauge %v, want %d", snap.Gauges["monitor.gc_pause_p50_ns"].Last, smp.GCPauseP50NS)
+	}
+	// A GC-free tick must not wipe the pause gauges.
+	quiet := s.SampleOnce()
+	if quiet.GCCount == 0 && int64(tr.Snapshot().Gauges["monitor.gc_pause_p50_ns"].Last) != smp.GCPauseP50NS {
+		t.Error("GC-free tick wiped the pause gauges")
+	}
+	events := tr.Events()
+	last := events[len(events)-1]
+	for _, k := range []string{"gc_count", "gc_pause_p50_ns", "gc_pause_p99_ns"} {
+		if _, ok := last.Fields[k]; !ok {
+			t.Errorf("monitor.sample event missing %q: %v", k, last.Fields)
+		}
+	}
+}

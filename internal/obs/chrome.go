@@ -88,12 +88,19 @@ func WriteChromeTrace(w io.Writer, t *Tracer) error {
 		DisplayTimeUnit: "ms",
 		Metadata:        map[string]any{"droppedSpans": dropped},
 	}
-	if snap := t.Snapshot(); snap != nil && len(snap.Counters) > 0 {
-		counters := make(map[string]any, len(snap.Counters))
-		for k, v := range snap.Counters {
-			counters[k] = v
+	if snap := t.Snapshot(); snap != nil {
+		if len(snap.Counters) > 0 {
+			counters := make(map[string]any, len(snap.Counters))
+			for k, v := range snap.Counters {
+				counters[k] = v
+			}
+			doc.Metadata["counters"] = counters
 		}
-		doc.Metadata["counters"] = counters
+		// Registry-scoped tracers carry their correlation ID; exporting it
+		// lets a downloaded per-job trace name the job it came from.
+		if id, ok := snap.Infos["scope.id"]; ok && id != "" {
+			doc.Metadata["scopeID"] = id
+		}
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(doc); err != nil {

@@ -19,6 +19,11 @@ const maxEvents = 1 << 16
 type Event struct {
 	// NS is the event time in nanoseconds since the tracer epoch.
 	NS int64
+	// Seq is the event's monotonic sequence number on its tracer,
+	// starting at 1. Every Emit call consumes a number — dropped events
+	// included — so a reader seeing seq jump from n to n+2 knows exactly
+	// one event was lost in between.
+	Seq int64
 	// Type names the event, dot-namespaced like counters
 	// ("run.start", "epoch", "resilience.retry").
 	Type string
@@ -34,8 +39,9 @@ func (t *Tracer) Emit(typ string, fields map[string]any) {
 	}
 	ns := time.Since(t.epoch).Nanoseconds()
 	t.emu.Lock()
+	t.eventSeq++
 	if len(t.events) < maxEvents {
-		t.events = append(t.events, Event{NS: ns, Type: typ, Fields: fields})
+		t.events = append(t.events, Event{NS: ns, Seq: t.eventSeq, Type: typ, Fields: fields})
 	} else {
 		t.eventsDropped++
 	}
@@ -67,18 +73,23 @@ func (t *Tracer) EventsDropped() int64 {
 }
 
 // EventLine renders one event as a JSONL line (newline included): an
-// object with "ts_ns" and "type" keys plus the event's fields flattened
-// to the top level (fields named ts_ns/type would be shadowed; event
-// types do not use those names). Keys within the line are sorted by
-// encoding/json's map ordering, so output is deterministic. Exported so
-// consumers that stream events incrementally (the serve daemon's
-// /jobs/{id}/events endpoint) emit the exact file-export wire format.
+// object with "ts_ns", "seq" and "type" keys plus the event's fields
+// flattened to the top level (fields named ts_ns/seq/type would be
+// shadowed; event types do not use those names). Keys within the line
+// are sorted by encoding/json's map ordering, so output is
+// deterministic. Exported so consumers that stream events incrementally
+// (the serve daemon's /jobs/{id}/events endpoint) emit the exact
+// file-export wire format. A seq of 0 (an Event built by hand rather
+// than by Emit) is omitted rather than rendered.
 func EventLine(ev Event) ([]byte, error) {
-	line := make(map[string]any, len(ev.Fields)+2)
+	line := make(map[string]any, len(ev.Fields)+3)
 	for k, v := range ev.Fields {
 		line[k] = v
 	}
 	line["ts_ns"] = ev.NS
+	if ev.Seq > 0 {
+		line["seq"] = ev.Seq
+	}
 	line["type"] = ev.Type
 	b, err := json.Marshal(line)
 	if err != nil {

@@ -57,6 +57,10 @@ type Tracer struct {
 	spans   []spanRec
 	dropped int64
 	depth   int32
+	// open is the stack of currently-open span names, outermost first.
+	// CurrentSpan reads its top so live introspection (`dlbench top`, the
+	// serve /status view) can show what a scope is doing right now.
+	open []string
 
 	imu    sync.Mutex
 	counts map[string]*Counter
@@ -69,10 +73,13 @@ type Tracer struct {
 	profiling atomic.Bool
 	peakHeap  atomic.Uint64
 
-	// emu guards the typed event log (see events.go).
+	// emu guards the typed event log (see events.go). eventSeq numbers
+	// every emitted event — including dropped ones — so consumers can
+	// detect gaps in a stream.
 	emu           sync.Mutex
 	events        []Event
 	eventsDropped int64
+	eventSeq      int64
 }
 
 // New constructs an enabled tracer whose span timestamps are measured
@@ -114,6 +121,7 @@ func (t *Tracer) Span(name, cat string) Span {
 	t.mu.Lock()
 	d := t.depth
 	t.depth++
+	t.open = append(t.open, name)
 	t.mu.Unlock()
 	s := Span{t: t, name: name, cat: cat, depth: d}
 	if t.profiling.Load() {
@@ -141,6 +149,16 @@ func (s Span) End() {
 	if s.t.depth > 0 {
 		s.t.depth--
 	}
+	// Pop the innermost matching open-span entry. Spans usually close
+	// LIFO, making this the top of the stack, but concurrent spans on one
+	// tracer may close out of order — matching by name keeps the stack
+	// consistent either way.
+	for i := len(s.t.open) - 1; i >= 0; i-- {
+		if s.t.open[i] == s.name {
+			s.t.open = append(s.t.open[:i], s.t.open[i+1:]...)
+			break
+		}
+	}
 	if len(s.t.spans) < maxSpans {
 		s.t.spans = append(s.t.spans, spanRec{name: s.name, cat: s.cat, start: s.start, dur: dur, depth: s.depth, alloc: alloc})
 	} else {
@@ -148,6 +166,23 @@ func (s Span) End() {
 	}
 	s.t.mu.Unlock()
 	s.t.Histogram(s.name).Observe(dur)
+}
+
+// CurrentSpan returns the name of the innermost span currently open on
+// the tracer, or "" when no span is open (or on a nil tracer). It is the
+// live-introspection primitive: a polling dashboard can ask a job's
+// scoped tracer what stage it is in right now without waiting for the
+// span to close.
+func (t *Tracer) CurrentSpan() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.open) == 0 {
+		return ""
+	}
+	return t.open[len(t.open)-1]
 }
 
 // SpanCount returns the number of retained spans.

@@ -1,0 +1,127 @@
+package obs
+
+import "sync"
+
+// Registry hands out correlation-scoped tracers: one independent Tracer
+// (its own span tree, event log and instrument registry) per correlation
+// ID. It exists for services that run many observable units of work in
+// one process — the serve daemon gives every accepted job its own scope
+// keyed by job ID, so a job's trace and profile are queryable in
+// isolation instead of being interleaved into one process-global tracer.
+//
+// The registry is bounded: creating a scope past the bound evicts the
+// oldest one (its tracer, and everything it recorded, is dropped), so a
+// long-running daemon cannot accumulate span buffers without limit.
+//
+// Like the rest of the package, the disabled state is a nil *Registry:
+// every method is safe on nil, and Scope/Lookup then return a nil
+// *Tracer — the existing disabled-tracer fast path.
+type Registry struct {
+	mu      sync.Mutex
+	max     int
+	scopes  map[string]*Tracer
+	order   []string // insertion order, for eviction and listing
+	evicted int64
+}
+
+// DefaultRegistryBound is the scope bound when NewRegistry gets max <= 0.
+const DefaultRegistryBound = 1024
+
+// NewRegistry constructs a registry retaining at most max scopes
+// (DefaultRegistryBound when max <= 0).
+func NewRegistry(max int) *Registry {
+	if max <= 0 {
+		max = DefaultRegistryBound
+	}
+	return &Registry{max: max, scopes: make(map[string]*Tracer)}
+}
+
+// Scope returns the tracer registered under id, creating and registering
+// a fresh one on first use. The new tracer carries its correlation ID as
+// the "scope.id" info instrument, so every export (Chrome trace,
+// Prometheus, status JSON) can name the scope it came from. Creating a
+// scope past the bound evicts the oldest scope. Returns nil on a nil
+// registry.
+func (r *Registry) Scope(id string) *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.scopes[id]; ok {
+		return t
+	}
+	if len(r.order) >= r.max {
+		oldest := r.order[0]
+		r.order = r.order[1:]
+		delete(r.scopes, oldest)
+		r.evicted++
+	}
+	t := New()
+	t.Info("scope.id").Set(id)
+	r.scopes[id] = t
+	r.order = append(r.order, id)
+	return t
+}
+
+// Lookup returns the tracer registered under id, nil when the scope does
+// not exist (never created, released, or evicted) or on a nil registry.
+func (r *Registry) Lookup(id string) *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scopes[id]
+}
+
+// Release drops the scope registered under id, freeing its tracer. Safe
+// on a nil registry and for unknown IDs.
+func (r *Registry) Release(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scopes[id]; !ok {
+		return
+	}
+	delete(r.scopes, id)
+	for i, v := range r.order {
+		if v == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of live scopes (zero on a nil registry).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.scopes)
+}
+
+// IDs returns the live scope IDs in creation order (nil on a nil
+// registry).
+func (r *Registry) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Evicted returns how many scopes the bound has evicted.
+func (r *Registry) Evicted() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryScopeCreatesAndReuses(t *testing.T) {
+	r := NewRegistry(8)
+	a := r.Scope("j-1")
+	if a == nil {
+		t.Fatal("Scope returned nil tracer on a live registry")
+	}
+	if got := a.Info("scope.id").Value(); got != "j-1" {
+		t.Fatalf("scope.id = %q, want %q", got, "j-1")
+	}
+	if again := r.Scope("j-1"); again != a {
+		t.Fatal("Scope did not return the existing tracer for a known ID")
+	}
+	if r.Scope("j-2") == a {
+		t.Fatal("distinct IDs shared one tracer")
+	}
+	if got := r.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestRegistryLookupAndRelease(t *testing.T) {
+	r := NewRegistry(8)
+	if got := r.Lookup("missing"); got != nil {
+		t.Fatal("Lookup of an unknown ID should return nil")
+	}
+	tr := r.Scope("j-1")
+	if got := r.Lookup("j-1"); got != tr {
+		t.Fatal("Lookup did not return the scoped tracer")
+	}
+	r.Release("j-1")
+	if got := r.Lookup("j-1"); got != nil {
+		t.Fatal("Lookup after Release should return nil")
+	}
+	if got := r.Len(); got != 0 {
+		t.Fatalf("Len after Release = %d, want 0", got)
+	}
+	r.Release("j-1") // unknown ID: must not panic or corrupt state
+}
+
+func TestRegistryEvictsOldestPastBound(t *testing.T) {
+	r := NewRegistry(3)
+	for i := 1; i <= 5; i++ {
+		r.Scope(fmt.Sprintf("j-%d", i))
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want bound 3", got)
+	}
+	if got := r.Evicted(); got != 2 {
+		t.Fatalf("Evicted = %d, want 2", got)
+	}
+	for _, gone := range []string{"j-1", "j-2"} {
+		if r.Lookup(gone) != nil {
+			t.Fatalf("oldest scope %s survived eviction", gone)
+		}
+	}
+	if got := strings.Join(r.IDs(), ","); got != "j-3,j-4,j-5" {
+		t.Fatalf("IDs = %q, want j-3,j-4,j-5", got)
+	}
+}
+
+func TestRegistryNilIsSafe(t *testing.T) {
+	var r *Registry
+	if tr := r.Scope("x"); tr != nil {
+		t.Fatal("nil registry Scope should return nil tracer")
+	}
+	if tr := r.Lookup("x"); tr != nil {
+		t.Fatal("nil registry Lookup should return nil tracer")
+	}
+	r.Release("x")
+	if r.Len() != 0 || r.IDs() != nil || r.Evicted() != 0 {
+		t.Fatal("nil registry accessors should return zero values")
+	}
+	// The nil tracer a nil registry hands out must be the usual no-op.
+	tr := r.Scope("x")
+	s := tr.Span("noop", "test")
+	s.End()
+	tr.Emit("noop", nil)
+}
+
+func TestRegistryScopedTracersAreIsolated(t *testing.T) {
+	r := NewRegistry(8)
+	a, b := r.Scope("a"), r.Scope("b")
+	sp := a.Span("only.in.a", "test")
+	sp.End()
+	a.Emit("only.in.a", nil)
+	if got := a.SpanCount(); got != 1 {
+		t.Fatalf("scope a SpanCount = %d, want 1", got)
+	}
+	if got := b.SpanCount(); got != 0 {
+		t.Fatalf("scope b SpanCount = %d, want 0 (leaked from a)", got)
+	}
+	if got := len(b.Events()); got != 0 {
+		t.Fatalf("scope b has %d events, want 0", got)
+	}
+}
+
+func TestCurrentSpanTracksOpenStack(t *testing.T) {
+	tr := New()
+	if got := tr.CurrentSpan(); got != "" {
+		t.Fatalf("CurrentSpan on idle tracer = %q, want empty", got)
+	}
+	outer := tr.Span("outer", "test")
+	if got := tr.CurrentSpan(); got != "outer" {
+		t.Fatalf("CurrentSpan = %q, want outer", got)
+	}
+	inner := tr.Span("inner", "test")
+	if got := tr.CurrentSpan(); got != "inner" {
+		t.Fatalf("CurrentSpan = %q, want inner", got)
+	}
+	inner.End()
+	if got := tr.CurrentSpan(); got != "outer" {
+		t.Fatalf("CurrentSpan after inner End = %q, want outer", got)
+	}
+	outer.End()
+	if got := tr.CurrentSpan(); got != "" {
+		t.Fatalf("CurrentSpan after all spans closed = %q, want empty", got)
+	}
+
+	var nilTr *Tracer
+	if got := nilTr.CurrentSpan(); got != "" {
+		t.Fatalf("nil tracer CurrentSpan = %q, want empty", got)
+	}
+}
+
+func TestCurrentSpanOutOfOrderEnd(t *testing.T) {
+	tr := New()
+	a := tr.Span("a", "test")
+	b := tr.Span("b", "test")
+	a.End() // closes out of LIFO order
+	if got := tr.CurrentSpan(); got != "b" {
+		t.Fatalf("CurrentSpan after out-of-order End = %q, want b", got)
+	}
+	b.End()
+	if got := tr.CurrentSpan(); got != "" {
+		t.Fatalf("CurrentSpan = %q, want empty", got)
+	}
+}
+
+func TestEventSeqMonotonicAndGapOnDrop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 3; i++ {
+		tr.Emit("tick", nil)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(i + 1); ev.Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	line, err := EventLine(evs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), `"seq":3`) {
+		t.Fatalf("EventLine missing seq field: %s", line)
+	}
+}
+
+func TestEventSeqCountsDroppedEvents(t *testing.T) {
+	tr := New()
+	for i := 0; i < maxEvents+5; i++ {
+		tr.Emit("flood", nil)
+	}
+	if got := tr.EventsDropped(); got != 5 {
+		t.Fatalf("EventsDropped = %d, want 5", got)
+	}
+	// A post-flood emit would take seq maxEvents+6; the retained log ends
+	// at maxEvents, so seq numbering exposes exactly the dropped range.
+	evs := tr.Events()
+	if got := evs[len(evs)-1].Seq; got != int64(maxEvents) {
+		t.Fatalf("last retained Seq = %d, want %d", got, maxEvents)
+	}
+}
+
+func TestChromeTraceCarriesScopeID(t *testing.T) {
+	r := NewRegistry(4)
+	tr := r.Scope("j-42")
+	sp := tr.Span("work", "test")
+	sp.End()
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"scopeID":"j-42"`) {
+		t.Fatalf("chrome trace missing scopeID metadata: %s", sb.String())
+	}
+}

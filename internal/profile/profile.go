@@ -207,6 +207,22 @@ func (p *Profile) WriteTable(w io.Writer) error {
 	return nil
 }
 
+// Write renders the profile in the named format: "table" (the default
+// when empty), "csv", or "folded". This is the dispatch the CLI flags
+// and the serve daemon's /jobs/{id}/profile?format= parameter share.
+func (p *Profile) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "table":
+		return p.WriteTable(w)
+	case "csv":
+		return p.WriteCSV(w)
+	case "folded":
+		return p.WriteFolded(w)
+	default:
+		return fmt.Errorf("profile: unknown format %q (want table, csv or folded)", format)
+	}
+}
+
 // WriteCSV renders the profile as flat CSV in the same order as the
 // table.
 func (p *Profile) WriteCSV(w io.Writer) error {

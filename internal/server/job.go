@@ -250,11 +250,25 @@ type Job struct {
 	finished  time.Time
 	recovered bool // resurrected from the journal after a restart
 	done      chan struct{}
+
+	// queueSpan is the open job.queue_wait span between the queue push
+	// (handler or recovery goroutine) and the worker pop; queueNS and
+	// execNS accumulate the job's measured queue residency and attempt
+	// execution time, the server-attributed halves of its e2e latency.
+	queueSpan     obs.Span
+	queueSpanOpen bool
+	queueStart    time.Time
+	queueNS       int64
+	execNS        int64
 }
 
-// newJob constructs a queued job with a live tracer.
-func newJob(id string, spec JobSpec, client string, recovered bool) *Job {
-	tr := obs.New()
+// newJob constructs a queued job recording onto tr — its scoped tracer
+// from the server's registry (a fresh private tracer when nil, so tests
+// constructing jobs directly keep a live event log).
+func newJob(id string, spec JobSpec, client string, recovered bool, tr *obs.Tracer) *Job {
+	if tr == nil {
+		tr = obs.New()
+	}
 	return &Job{
 		ID:        id,
 		Spec:      spec,
@@ -265,6 +279,47 @@ func newJob(id string, spec JobSpec, client string, recovered bool) *Job {
 		recovered: recovered,
 		done:      make(chan struct{}),
 	}
+}
+
+// beginQueueWait opens the job.queue_wait span. The handler (or recovery
+// loop) opens it immediately before the queue push; the worker that pops
+// the job closes it, so the span measures true queue residency.
+func (j *Job) beginQueueWait() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.queueSpanOpen {
+		return
+	}
+	j.queueSpan = j.tracer.Span(SpanQueueWait, "server")
+	j.queueSpanOpen = true
+	j.queueStart = time.Now()
+}
+
+// endQueueWait closes the queue-wait span, accumulates the residency and
+// returns it (0, false when no span was open — direct-run tests).
+func (j *Job) endQueueWait() (time.Duration, bool) {
+	j.mu.Lock()
+	open := j.queueSpanOpen
+	span := j.queueSpan
+	start := j.queueStart
+	j.queueSpanOpen = false
+	j.mu.Unlock()
+	if !open {
+		return 0, false
+	}
+	span.End()
+	d := time.Since(start)
+	j.mu.Lock()
+	j.queueNS += d.Nanoseconds()
+	j.mu.Unlock()
+	return d, true
+}
+
+// addExec accumulates one attempt's execution time.
+func (j *Job) addExec(d time.Duration) {
+	j.mu.Lock()
+	j.execNS += d.Nanoseconds()
+	j.mu.Unlock()
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -334,9 +389,17 @@ type JobView struct {
 	Recovered bool   `json:"recovered,omitempty"`
 	Error     string `json:"error,omitempty"`
 	// QueueSeconds and RunSeconds split the job's latency into time
-	// spent waiting for a worker and time spent executing.
+	// spent waiting for a worker and time spent since it first started
+	// (RunSeconds includes retry backoff between attempts).
 	QueueSeconds float64 `json:"queue_seconds"`
 	RunSeconds   float64 `json:"run_seconds"`
+	// ExecSeconds is the summed execution time of the job's attempts —
+	// RunSeconds minus retry backoff — and E2ESeconds the total
+	// submission-to-terminal latency. Both are 0 until the stage (or the
+	// job) completes, so a finished job's record carries its full
+	// server-attributed latency breakdown.
+	ExecSeconds float64 `json:"exec_seconds,omitempty"`
+	E2ESeconds  float64 `json:"e2e_seconds,omitempty"`
 	// Result is the completed run's row (accuracy, wall/model times,
 	// convergence), absent until completion.
 	Result *metrics.RunResult `json:"result,omitempty"`
@@ -347,24 +410,34 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:        j.ID,
-		State:     j.state,
-		Spec:      j.Spec,
-		Client:    j.Client,
-		Attempts:  j.attempts,
-		Recovered: j.recovered,
-		Error:     j.err,
-		Result:    j.result,
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec,
+		Client:      j.Client,
+		Attempts:    j.attempts,
+		Recovered:   j.recovered,
+		Error:       j.err,
+		Result:      j.result,
+		ExecSeconds: float64(j.execNS) / 1e9,
+	}
+	if j.queueNS > 0 {
+		// Measured queue residency (the job.queue_wait span), exact even
+		// for recovered jobs whose submitted clock restarted.
+		v.QueueSeconds = float64(j.queueNS) / 1e9
+	} else if j.started.IsZero() {
+		v.QueueSeconds = time.Since(j.submitted).Seconds()
+	} else {
+		v.QueueSeconds = j.started.Sub(j.submitted).Seconds()
 	}
 	if !j.started.IsZero() {
-		v.QueueSeconds = j.started.Sub(j.submitted).Seconds()
 		end := j.finished
 		if end.IsZero() {
 			end = time.Now()
 		}
 		v.RunSeconds = end.Sub(j.started).Seconds()
-	} else {
-		v.QueueSeconds = time.Since(j.submitted).Seconds()
+	}
+	if !j.finished.IsZero() {
+		v.E2ESeconds = j.finished.Sub(j.submitted).Seconds()
 	}
 	return v
 }

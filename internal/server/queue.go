@@ -76,6 +76,17 @@ func (q *queue) pop(shard int) *Job {
 	return j
 }
 
+// depths returns the per-shard queued counts (index = shard = worker).
+func (q *queue) depths() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]int, len(q.shards))
+	for i := range q.shards {
+		out[i] = len(q.shards[i].jobs)
+	}
+	return out
+}
+
 // depth returns the total queued count across shards.
 func (q *queue) depth() int {
 	q.mu.Lock()

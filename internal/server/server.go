@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // Server instrument names (exported on /metrics as dlbench_server_*).
@@ -57,6 +58,28 @@ const (
 	CounterRetries     = "server.jobs.retries"
 	CounterPanics      = "server.jobs.panics"
 	CounterCacheDrops  = "server.suite_cache_drops"
+
+	// Per-stage latency histograms (exported as the
+	// dlbench_server_*_seconds summary families) and the worker-occupancy
+	// gauge (in-flight jobs as a fraction of workers, 0..1).
+	HistQueueWait        = "server.queue_wait"
+	HistExec             = "server.exec"
+	HistE2E              = "server.e2e"
+	GaugeWorkerOccupancy = "server.worker_occupancy"
+)
+
+// Lifecycle span names recorded on each job's scoped tracer: admission
+// (with the journal fsync as a child), queue residency, per-attempt
+// execution, retry backoff, and terminal reporting. Sequential and
+// non-overlapping, so /jobs/{id}/trace shows one root-level timeline
+// tiling the job's e2e latency and /jobs/{id}/profile attributes it.
+const (
+	SpanAdmission   = "job.admission"
+	SpanJournalSync = "job.journal_fsync"
+	SpanQueueWait   = "job.queue_wait"
+	SpanExec        = "job.exec"
+	SpanBackoff     = "job.backoff"
+	SpanReport      = "job.report"
 )
 
 // Config parameterizes New. The zero value is usable for tests: 2
@@ -96,6 +119,10 @@ type Config struct {
 	// Tracer receives the server's gauges and counters (a fresh private
 	// tracer when nil — instruments always work).
 	Tracer *obs.Tracer
+	// Registry scopes a tracer per accepted job (the correlation-ID →
+	// tracer map behind /jobs/{id}/trace and /profile). Nil gets a
+	// registry bounded like the job table, so every server is scoped.
+	Registry *obs.Registry
 	// Sampler, when non-nil, drives load shedding and memory-pressure
 	// cache drops from its latest resource sample.
 	Sampler *monitor.Sampler
@@ -146,6 +173,7 @@ type Server struct {
 	lim     *limiter
 	journal *journal
 	tracer  *obs.Tracer
+	reg     *obs.Registry
 	run     RunFunc
 
 	// draining closes when Shutdown begins: admission stops and workers
@@ -167,10 +195,11 @@ type Server struct {
 	jobs   map[string]*Job
 	jobIDs []string // insertion order, for listing and eviction
 
-	gQueueDepth, gInflight                         *obs.Gauge
+	gQueueDepth, gInflight, gOccupancy             *obs.Gauge
 	cAccepted, cCompleted, cFailed, cShed          *obs.Counter
 	cRateLimited, cQueueFull, cRecovered, cRetries *obs.Counter
 	cPanics, cCacheDrops                           *obs.Counter
+	hQueueWait, hExec, hE2E                        *obs.Histogram
 }
 
 // New builds the server, replays the journal (re-enqueueing every job
@@ -182,12 +211,17 @@ func New(cfg Config) (*Server, error) {
 	if tr == nil {
 		tr = obs.New()
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry(cfg.MaxJobsRetained)
+	}
 	hardCtx, hardStop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		q:        newQueue(cfg.Workers, cfg.QueueCap),
 		lim:      newLimiter(cfg.RatePerSec, cfg.Burst),
 		tracer:   tr,
+		reg:      reg,
 		draining: make(chan struct{}),
 		hardCtx:  hardCtx,
 		hardStop: hardStop,
@@ -195,6 +229,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.gQueueDepth = tr.Gauge(GaugeQueueDepth)
 	s.gInflight = tr.Gauge(GaugeInflight)
+	s.gOccupancy = tr.Gauge(GaugeWorkerOccupancy)
+	s.hQueueWait = tr.Histogram(HistQueueWait)
+	s.hExec = tr.Histogram(HistExec)
+	s.hE2E = tr.Histogram(HistE2E)
 	s.cAccepted = tr.Counter(CounterAccepted)
 	s.cCompleted = tr.Counter(CounterCompleted)
 	s.cFailed = tr.Counter(CounterFailed)
@@ -207,6 +245,7 @@ func New(cfg Config) (*Server, error) {
 	s.cCacheDrops = tr.Counter(CounterCacheDrops)
 	s.gQueueDepth.Set(0)
 	s.gInflight.Set(0)
+	s.gOccupancy.Set(0)
 
 	s.run = cfg.Run
 	if s.run == nil {
@@ -239,8 +278,11 @@ func New(cfg Config) (*Server, error) {
 	// fit stay journaled (their submit records were preserved by
 	// compaction) and will be recovered by a later, emptier start.
 	for _, p := range recovered {
-		j := newJob(p.ID, p.Spec, p.Client, true)
+		j := newJob(p.ID, p.Spec, p.Client, true, s.reg.Scope(p.ID))
+		j.beginQueueWait()
 		if !s.q.push(j) {
+			j.endQueueWait()
+			s.reg.Release(p.ID)
 			s.logf("recovery: queue full, job %s left journaled for next start", p.ID)
 			continue
 		}
@@ -284,6 +326,9 @@ func (s *Server) remember(j *Job) {
 	for _, id := range s.jobIDs {
 		if evicted < len(s.jobIDs)-s.cfg.MaxJobsRetained && terminal(s.jobs[id].State()) {
 			delete(s.jobs, id)
+			// The job record goes, so its trace scope goes with it —
+			// /jobs/{id}/trace 404s instead of leaking tracers.
+			s.reg.Release(id)
 			evicted++
 			continue
 		}
@@ -314,6 +359,60 @@ func (s *Server) JobViews() []JobView {
 		out = append(out, j.View())
 	}
 	return out
+}
+
+// StatusView is the daemon's live-introspection snapshot, served as the
+// "server" object of the /status JSON and rendered by `dlbench top`.
+type StatusView struct {
+	Draining bool  `json:"draining"`
+	Workers  int   `json:"workers"`
+	Inflight int64 `json:"inflight"`
+	// QueueDepths is per shard (index = shard = worker).
+	QueueDepths []int `json:"queue_depths"`
+	// ActiveJobs lists every non-terminal job with its current lifecycle
+	// span — what each worker (and the queue) is doing right now.
+	ActiveJobs []ActiveJob `json:"active_jobs,omitempty"`
+}
+
+// ActiveJob is one non-terminal job in the status view.
+type ActiveJob struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Span is the innermost open span on the job's scoped tracer
+	// ("job.queue_wait" for queued jobs; "graph.forward" etc. mid-run).
+	Span     string `json:"span,omitempty"`
+	Attempts int    `json:"attempts"`
+	Cell     string `json:"cell"`
+}
+
+// Status snapshots the daemon for live introspection.
+func (s *Server) Status() StatusView {
+	sv := StatusView{
+		Draining:    s.Draining(),
+		Workers:     s.cfg.Workers,
+		Inflight:    s.inflight.Load(),
+		QueueDepths: s.q.depths(),
+	}
+	s.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobIDs))
+	for _, id := range s.jobIDs {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.jobsMu.Unlock()
+	for _, j := range jobs {
+		st := j.State()
+		if terminal(st) {
+			continue
+		}
+		sv.ActiveJobs = append(sv.ActiveJobs, ActiveJob{
+			ID:       j.ID,
+			State:    st,
+			Span:     j.tracer.CurrentSpan(),
+			Attempts: j.attempt(),
+			Cell:     j.Spec.Framework + "/" + j.Spec.Dataset,
+		})
+	}
+	return sv
 }
 
 // observeJobSeconds feeds the EWMA behind Retry-After hints.
@@ -432,6 +531,8 @@ func (s *Server) Shutdown(ctx context.Context) (pending int, err error) {
 //	GET  /jobs            list retained jobs
 //	GET  /jobs/{id}       one job's state and result
 //	GET  /jobs/{id}/events  stream the job's JSONL event log
+//	GET  /jobs/{id}/trace   the job's Chrome trace_event span tree
+//	GET  /jobs/{id}/profile the job's attribution profile
 //	GET  /healthz         200 serving / 503 draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -439,6 +540,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -508,17 +611,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := fmt.Sprintf("j-%d", s.seq.Add(1))
-	j := newJob(id, spec, client, false)
+	// The job's scoped tracer starts here: admission is the first span of
+	// its lifecycle trace, with the fsync isolated as a child so a slow
+	// disk is visible in /jobs/{id}/trace as journal time, not queue time.
+	j := newJob(id, spec, client, false, s.reg.Scope(id))
+	adm := j.tracer.Span(SpanAdmission, "server")
 	// Durability before acknowledgement: the journal record lands (and
 	// syncs) before the queue push and before the client sees the 202.
-	if err := s.journal.submit(j); err != nil {
+	sync := j.tracer.Span(SpanJournalSync, "server")
+	err := s.journal.submit(j)
+	sync.End()
+	if err != nil {
+		adm.End()
+		s.reg.Release(id)
 		s.logf("journal: %v", err)
 		writeJSON(w, http.StatusInternalServerError, submitReply{Status: "error", Reason: "journal write failed"})
 		return
 	}
+	adm.End()
+	j.beginQueueWait()
 	if !s.q.push(j) {
 		// Rejected after journaling: record the rejection so restart
 		// recovery does not resurrect a job the client was told to retry.
+		j.endQueueWait()
+		s.reg.Release(id)
 		s.journalState(id, StateFailed)
 		s.cQueueFull.Inc()
 		secs := s.retryAfterSeconds()
@@ -546,7 +662,68 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, submitReply{Status: "unknown", Reason: "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.View())
+	v := j.View()
+	// Server-attributed latency as headers, so a client (cmd/loadgen)
+	// can split its observed end-to-end latency into queue wait vs
+	// execution without parsing the body.
+	w.Header().Set("X-DLBench-Queue-Seconds", strconv.FormatFloat(v.QueueSeconds, 'f', 6, 64))
+	w.Header().Set("X-DLBench-Exec-Seconds", strconv.FormatFloat(v.ExecSeconds, 'f', 6, 64))
+	writeJSON(w, http.StatusOK, v)
+}
+
+// jobTracer resolves the scoped tracer for a job ID: the registry is
+// authoritative, with the retained job record as fallback (a scope can
+// outlive neither — Release tracks eviction — but the fallback keeps the
+// endpoints working for servers constructed with an external registry
+// that was bounded smaller than the job table).
+func (s *Server) jobTracer(id string) *obs.Tracer {
+	if tr := s.reg.Lookup(id); tr != nil {
+		return tr
+	}
+	if j, ok := s.Job(id); ok {
+		return j.tracer
+	}
+	return nil
+}
+
+// handleTrace serves the job's span tree as Chrome trace_event JSON —
+// the same exporter as the CLI -trace flag, loadable in chrome://tracing
+// or Perfetto. Available at any lifecycle stage; a completed job's trace
+// tiles its whole e2e latency (admission → queue wait → exec → report).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.jobTracer(r.PathValue("id"))
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, submitReply{Status: "unknown", Reason: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTrace(w, tr); err != nil {
+		s.logf("trace export: %v", err)
+	}
+}
+
+// handleProfile serves the job's attribution profile (self/cum time per
+// span name) built from the same spans as /trace. ?format=table (default)
+// | csv | folded.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	tr := s.jobTracer(r.PathValue("id"))
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, submitReply{Status: "unknown", Reason: "no such job"})
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "table", "folded":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+	default:
+		writeJSON(w, http.StatusBadRequest, submitReply{Status: "invalid", Reason: fmt.Sprintf("unknown format %q (want table, csv or folded)", format)})
+		return
+	}
+	if err := profile.Build(tr.Spans()).Write(w, format); err != nil {
+		s.logf("profile export: %v", err)
+	}
 }
 
 // handleEvents streams the job's event log as JSONL: everything recorded
@@ -587,6 +764,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = len(evs)
 		if terminal(j.State()) && offset == len(j.tracer.Events()) {
+			// Satellite of the seq contract: when the tracer overflowed and
+			// dropped events, say so explicitly at stream end instead of
+			// leaving the client to infer it from the seq gap alone.
+			if n := j.tracer.EventsDropped(); n > 0 {
+				if b, err := obs.EventLine(obs.Event{Type: "events.dropped", Fields: map[string]any{"count": n}}); err == nil {
+					w.Write(b) //nolint:errcheck // terminal line, client gone is fine
+				}
+			}
 			return
 		}
 		select {

@@ -74,10 +74,13 @@ func submit(t *testing.T, ts *httptest.Server, spec string, client string) (int,
 	return resp.StatusCode, reply
 }
 
-// waitState polls until the job reaches state want.
+// waitState polls until the job reaches state want. The deadline only
+// bounds failure reporting — jobs that do complete return immediately —
+// so it is sized for the slowest case: a real inference job under the
+// race detector on a loaded host.
 func waitState(t *testing.T, s *Server, id string, want State) *Job {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		j, ok := s.Job(id)
 		if ok && j.State() == want {

@@ -56,11 +56,18 @@ func (s *Server) worker(shard int) {
 // journal recovers it on the next start.
 func (s *Server) runJob(shard int, j *Job) {
 	s.inflight.Add(1)
-	s.gInflight.Set(float64(s.inflight.Load()))
+	s.setOccupancy()
 	defer func() {
 		s.inflight.Add(-1)
-		s.gInflight.Set(float64(s.inflight.Load()))
+		s.setOccupancy()
 	}()
+
+	// The worker has the job: close its queue-wait span (opened by the
+	// admission handler or the recovery loop) and feed the stage
+	// histogram behind dlbench_server_queue_wait_seconds.
+	if wait, ok := j.endQueueWait(); ok {
+		s.hQueueWait.Observe(wait)
+	}
 
 	timeout := s.cfg.JobTimeout
 	if j.Spec.TimeoutMS > 0 {
@@ -76,15 +83,18 @@ func (s *Server) runJob(shard int, j *Job) {
 			"id": j.ID, "attempt": j.attempt(), "shard": shard, "cell": j.Spec.Framework + "/" + j.Spec.Dataset,
 		})
 		start := time.Now()
+		exec := j.tracer.Span(SpanExec, "server")
 		ctx, cancel := context.WithTimeout(s.hardCtx, timeout)
 		res, err := s.runAttempt(ctx, shard, j)
 		cancel()
+		exec.End()
+		attemptDur := time.Since(start)
+		j.addExec(attemptDur)
+		s.hExec.Observe(attemptDur)
 		if err == nil {
-			s.observeJobSeconds(time.Since(start).Seconds())
-			j.tracer.Emit("job.done", map[string]any{"id": j.ID, "state": string(StateCompleted)})
-			j.finish(res, nil)
+			s.observeJobSeconds(attemptDur.Seconds())
+			s.reportJob(j, res, nil, StateCompleted)
 			s.cCompleted.Inc()
-			s.journalState(j.ID, StateCompleted)
 			return
 		}
 		// Hard stop during drain: the process is going away. Leave the job
@@ -100,17 +110,44 @@ func (s *Server) runJob(shard int, j *Job) {
 			delay := resilience.JitteredBackoff(j.attempt()-1, s.cfg.RetryBase, s.cfg.RetryMax)
 			j.tracer.Emit("job.retry", map[string]any{"id": j.ID, "attempt": j.attempt(), "delay_ms": delay.Milliseconds(), "error": err.Error()})
 			j.requeue()
-			if resilience.Sleep(s.hardCtx, delay) != nil {
+			backoff := j.tracer.Span(SpanBackoff, "server")
+			serr := resilience.Sleep(s.hardCtx, delay)
+			backoff.End()
+			if serr != nil {
 				return
 			}
 			continue
 		}
-		j.tracer.Emit("job.done", map[string]any{"id": j.ID, "state": string(StateFailed), "error": err.Error()})
-		j.finish(nil, err)
+		s.reportJob(j, nil, err, StateFailed)
 		s.cFailed.Inc()
-		s.journalState(j.ID, StateFailed)
 		return
 	}
+}
+
+// reportJob is the terminal stage: the job.done event, the in-memory
+// finish, the journaled state transition, and the e2e latency
+// observation — bracketed by the job.report span so the trace's root
+// timeline extends to (essentially) the job's terminal timestamp.
+func (s *Server) reportJob(j *Job, res *metrics.RunResult, err error, st State) {
+	report := j.tracer.Span(SpanReport, "server")
+	fields := map[string]any{"id": j.ID, "state": string(st)}
+	if err != nil {
+		fields["error"] = err.Error()
+	}
+	j.tracer.Emit("job.done", fields)
+	j.finish(res, err)
+	s.journalState(j.ID, st)
+	report.End()
+	if v := j.View(); v.E2ESeconds > 0 {
+		s.hE2E.Observe(time.Duration(v.E2ESeconds * float64(time.Second)))
+	}
+}
+
+// setOccupancy publishes in-flight jobs as a fraction of the worker pool.
+func (s *Server) setOccupancy() {
+	n := float64(s.inflight.Load())
+	s.gInflight.Set(n)
+	s.gOccupancy.Set(n / float64(s.cfg.Workers))
 }
 
 // runAttempt executes one attempt under panic containment: a panic

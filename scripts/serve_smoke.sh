@@ -52,8 +52,9 @@ echo "serve-smoke: daemon up on $addr"
 
 # A tiny burst: enough concurrency to queue behind 2 workers, small
 # enough to finish fast. loadgen exits non-zero if any accepted job is
-# lost or the accounting does not balance.
-"$bin/loadgen" -addr "$addr" -clients 4 -jobs 1 -deadline 3m
+# lost, the accounting does not balance, or (-stream-every 1) any
+# terminal job's event stream has a seq gap — i.e. silently lost events.
+"$bin/loadgen" -addr "$addr" -clients 4 -jobs 1 -deadline 3m -stream-every 1
 
 # One inference job end-to-end: submit a batch-1 int8 serving job, then
 # stream its JSONL event log — the stream stays open until the job is
@@ -101,6 +102,41 @@ if ! tail -n 1 "$events" | grep '"type":"job.done"' | grep -q '"state":"complete
 	exit 1
 fi
 echo "serve-smoke: inference summary OK ($jid)"
+
+# Per-job observability: the completed job must serve a well-formed
+# Chrome trace (its span tree, including the execution span) and a
+# non-empty attribution profile, and /metrics must carry the per-stage
+# latency summaries the job's lifecycle fed.
+echo "serve-smoke: per-job trace + profile"
+trace="$bin/trace.json"
+http_get "http://$addr/jobs/$jid/trace" >"$trace"
+if ! grep -q '"traceEvents"' "$trace"; then
+	echo "serve-smoke: FAIL: /trace is not a Chrome trace_event document" >&2
+	head -c 500 "$trace" >&2
+	exit 1
+fi
+if ! grep -q '"job.exec"' "$trace"; then
+	echo "serve-smoke: FAIL: /trace has no job.exec span" >&2
+	head -c 500 "$trace" >&2
+	exit 1
+fi
+prof="$bin/profile.txt"
+http_get "http://$addr/jobs/$jid/profile" >"$prof"
+if ! grep -q 'Attribution profile' "$prof"; then
+	echo "serve-smoke: FAIL: /profile has no attribution table" >&2
+	head -c 500 "$prof" >&2
+	exit 1
+fi
+metricsdump="$bin/metrics.txt"
+http_get "http://$addr/metrics" >"$metricsdump"
+for fam in dlbench_server_queue_wait_seconds dlbench_server_exec_seconds dlbench_server_e2e_seconds; do
+	if ! grep -q "$fam" "$metricsdump"; then
+		echo "serve-smoke: FAIL: /metrics missing $fam" >&2
+		grep '^dlbench_server' "$metricsdump" >&2 || true
+		exit 1
+	fi
+done
+echo "serve-smoke: trace/profile/metrics OK"
 
 echo "serve-smoke: SIGTERM drain"
 kill -TERM "$pid"
